@@ -1,0 +1,85 @@
+//! Ablation benches: runtime cost of the design-choice variants whose
+//! *quality* impact is tabulated by `muerp-experiments`' ablations module
+//! (see DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use muerp_bench::scaled_network;
+use muerp_core::algorithms::{ConflictFree, PrimBased, SeedChoice};
+use muerp_core::algorithms::RetentionPolicy;
+use muerp_core::extensions::{FidelityAwarePrim, FidelityModel};
+use muerp_core::prelude::*;
+
+fn bench_seed_choice(c: &mut Criterion) {
+    let net = scaled_network(50, 3);
+    let mut group = c.benchmark_group("alg4_seed_choice");
+    for (label, seed) in [
+        ("first_user", SeedChoice::FirstUser),
+        ("random", SeedChoice::Random(3)),
+        ("best_of_all", SeedChoice::BestOfAll),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &seed, |b, &seed| {
+            b.iter(|| std::hint::black_box(PrimBased { seed }.solve(&net)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_retention_policy(c: &mut Criterion) {
+    let net = scaled_network(50, 4);
+    let mut group = c.benchmark_group("alg3_retention");
+    for (label, retention) in [
+        ("max_rate_first", RetentionPolicy::MaxRateFirst),
+        ("fewest_switches_first", RetentionPolicy::FewestSwitchesFirst),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &retention,
+            |b, &retention| {
+                b.iter(|| std::hint::black_box(ConflictFree { retention }.solve(&net)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fidelity_bound(c: &mut Criterion) {
+    // Hop-layered Algorithm 1 costs grow with the hop budget; quantify.
+    let net = scaled_network(50, 5);
+    let mut group = c.benchmark_group("fidelity_hop_bound");
+    for floor in [0.90f64, 0.95, 0.97] {
+        let model = FidelityModel {
+            link_fidelity: 0.99,
+            min_fidelity: floor,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("floor_{floor}")),
+            &model,
+            |b, &model| b.iter(|| std::hint::black_box(FidelityAwarePrim { model }.solve(&net))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fusion_models(c: &mut Criterion) {
+    use muerp_core::algorithms::baselines::FusionSuccess;
+    let net = scaled_network(50, 6);
+    let mut group = c.benchmark_group("nfusion_model");
+    for (label, fusion) in [
+        ("power_law", FusionSuccess::PowerLaw),
+        ("fixed", FusionSuccess::Fixed(0.5)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fusion, |b, &fusion| {
+            b.iter(|| std::hint::black_box(NFusion { fusion }.solve(&net)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seed_choice,
+    bench_retention_policy,
+    bench_fidelity_bound,
+    bench_fusion_models
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! One benchmark per paper figure: times the full regeneration pipeline
+//! (topology generation × 5 algorithms × trials) for each panel of §V.
+//!
+//! The *data* these pipelines produce is what EXPERIMENTS.md records; the
+//! bench verifies each panel regenerates in bounded time and tracks
+//! regressions in the harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use muerp_experiments::figures;
+use muerp_experiments::TrialConfig;
+
+fn bench_cfg() -> TrialConfig {
+    TrialConfig {
+        trials: 3,
+        base_seed: 9_000,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig5_topologies", |b| {
+        b.iter(|| std::hint::black_box(figures::fig5(bench_cfg())))
+    });
+    group.bench_function("fig6a_users", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6a(bench_cfg())))
+    });
+    group.bench_function("fig6b_switches", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6b(bench_cfg())))
+    });
+    group.bench_function("fig7a_degree", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7a(bench_cfg())))
+    });
+    group.bench_function("fig7b_edge_removal", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7b(bench_cfg())))
+    });
+    group.bench_function("fig8a_qubits", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8a(bench_cfg())))
+    });
+    group.bench_function("fig8b_swap_rate", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8b(bench_cfg())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

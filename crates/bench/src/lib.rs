@@ -1,0 +1,36 @@
+//! # muerp-bench — benchmark support
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! * `figures` — regenerates every paper figure (Figs. 5–8) at bench
+//!   trial counts and times the full pipeline per panel.
+//! * `algorithms` — per-algorithm solve latency at growing network
+//!   scale, checking the §IV complexity discussion empirically.
+//! * `substrates` — the building blocks: Dijkstra/Algorithm 1, topology
+//!   generation, union-find, Monte-Carlo slot throughput.
+//! * `ablations` — design-choice sensitivity: Algorithm 4 seed policy,
+//!   Algorithm 3 retention policy, fidelity hop bounds, fusion models.
+//!
+//! This crate's library only hosts shared helpers for those benches.
+
+use muerp_core::model::{NetworkSpec, QuantumNetwork};
+
+/// Builds the paper-default network family scaled to `switches` switches
+/// (10 users, degree 6), used by the scaling benches.
+pub fn scaled_network(switches: usize, seed: u64) -> QuantumNetwork {
+    let mut spec = NetworkSpec::paper_default();
+    spec.topology.nodes = switches + spec.users;
+    spec.build(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_network_has_requested_size() {
+        let net = scaled_network(30, 1);
+        assert_eq!(net.switch_count(), 30);
+        assert_eq!(net.user_count(), 10);
+    }
+}

@@ -1,0 +1,166 @@
+//! The **E-Q-CAST** baseline (paper §V-A).
+//!
+//! Q-CAST (Shi & Qian, SIGCOMM 2020) routes entanglement for *pairs* of
+//! users. The paper extends it to the multi-user setting by adding pair
+//! channels along a chain — "we establish entanglement channels
+//! `<u₁,u₂>, <u₂,u₃>, <u₃,u₄>` to entangle `{u₁, u₂, u₃, u₄}`" — which is
+//! an entanglement tree whose shape is fixed to a path, rather than chosen
+//! by the optimizer.
+//!
+//! Each consecutive pair is routed sequentially with the best available
+//! channel on residual capacity (we grant the baseline our Algorithm-1
+//! routing, strictly stronger than Q-CAST's original hop-based `EXT`
+//! metric, so the comparison isolates the *tree-shape* decision — this is
+//! the generous-baseline reading of the paper's setup). Any unroutable
+//! pair makes the whole entanglement fail (rate 0).
+
+use crate::channel::CapacityMap;
+use crate::error::RoutingError;
+use crate::model::QuantumNetwork;
+use crate::solver::{RoutingAlgorithm, Solution};
+use crate::tree::EntanglementTree;
+
+use crate::algorithms::channel_finder::max_rate_channel;
+
+/// The extended Q-CAST baseline: a chain-shaped entanglement tree over
+/// the users in their listed order.
+///
+/// # Example
+///
+/// ```
+/// use muerp_core::prelude::*;
+///
+/// let net = NetworkSpec::paper_default().build(2);
+/// if let Ok(sol) = EQCast::default().solve(&net) {
+///     // Chain shape: |U| − 1 channels, each joining consecutive users.
+///     assert_eq!(sol.channels.len(), net.user_count() - 1);
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EQCast;
+
+impl RoutingAlgorithm for EQCast {
+    fn name(&self) -> &'static str {
+        "E-Q-CAST"
+    }
+
+    fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let users = net.users();
+        if users.len() < 2 {
+            return Err(RoutingError::TooFewUsers { got: users.len() });
+        }
+        let mut capacity = CapacityMap::new(net);
+        let mut tree = EntanglementTree::new();
+        for pair in users.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let Some(c) = max_rate_channel(net, &capacity, a, b) else {
+                return Err(RoutingError::NoFeasibleChannel { a, b });
+            };
+            capacity.reserve(&c);
+            tree.push(c);
+        }
+        Ok(Solution::from_tree(tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{ConflictFree, OptimalSufficient};
+    use crate::model::{NetworkSpec, NodeKind, PhysicsParams};
+    use crate::solver::validate_solution;
+    use qnet_graph::Graph;
+
+    #[test]
+    fn chain_shape_and_validity() {
+        for seed in 0..10 {
+            let net = NetworkSpec::paper_default().build(seed);
+            if let Ok(sol) = EQCast.solve(&net) {
+                validate_solution(&net, &sol)
+                    .unwrap_or_else(|e| panic!("seed {seed}: invalid: {e}"));
+                let users = net.users();
+                for (i, c) in sol.channels.iter().enumerate() {
+                    let want = if users[i] <= users[i + 1] {
+                        (users[i], users[i + 1])
+                    } else {
+                        (users[i + 1], users[i])
+                    };
+                    assert_eq!(c.user_pair(), want, "chain order broken");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_dominated_by_free_tree_shape() {
+        // Statistically, over several seeds, the optimizing algorithms
+        // must do at least as well as the forced chain (they may tie on
+        // easy instances).
+        let mut chain_worse = 0;
+        let mut total = 0;
+        for seed in 0..20 {
+            let net = NetworkSpec::paper_default().build(seed);
+            let (Ok(qcast), Ok(alg3)) = (EQCast.solve(&net), ConflictFree::default().solve(&net)) else {
+                continue;
+            };
+            total += 1;
+            // Alg-3 is not a strict upper bound on E-Q-CAST instance-wise
+            // (both are heuristics), but the unconstrained Alg-2 bound is.
+            let bound = OptimalSufficient.solve(&net).unwrap();
+            assert!(qcast.rate.value() <= bound.rate.value() * (1.0 + 1e-9));
+            if qcast.rate < alg3.rate {
+                chain_worse += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            chain_worse * 2 >= total,
+            "chain should usually lose: {chain_worse}/{total}"
+        );
+    }
+
+    #[test]
+    fn star_topology_defeats_the_chain() {
+        // A hub with 4 qubits and 3 users: a star tree fits (4 qubits =
+        // 2 channels), and so does a chain (a–b, b–c also needs 2
+        // channels through the hub). Shrink to 3 users with a 2-qubit
+        // hub plus direct a–b fiber: the chain a–b (direct), b–c (hub)
+        // works, but chain a–c forced through… exercise both paths.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::User);
+        let c = g.add_node(NodeKind::User);
+        let hub = g.add_node(NodeKind::Switch { qubits: 2 });
+        g.add_edge(a, b, 1500.0);
+        g.add_edge(a, hub, 1000.0);
+        g.add_edge(b, hub, 1000.0);
+        g.add_edge(c, hub, 1000.0);
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        let sol = EQCast.solve(&net).unwrap();
+        validate_solution(&net, &sol).unwrap();
+        assert_eq!(sol.channels.len(), 2);
+    }
+
+    #[test]
+    fn fails_when_chain_pair_unroutable() {
+        // a–b connected, c reachable only through a *user* → chain a,b,c
+        // fails at <b,c>.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::User);
+        let c = g.add_node(NodeKind::User);
+        g.add_edge(a, b, 100.0);
+        g.add_edge(a, c, 100.0);
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        // Chain order is users() order = [a, b, c]: needs b–c, which would
+        // have to relay through user a — impossible.
+        let err = EQCast.solve(&net).unwrap_err();
+        assert!(matches!(err, RoutingError::NoFeasibleChannel { .. }));
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = NetworkSpec::paper_default().build(13);
+        assert_eq!(EQCast.solve(&net), EQCast.solve(&net));
+    }
+}

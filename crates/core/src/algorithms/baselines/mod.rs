@@ -1,0 +1,14 @@
+//! Comparison baselines from §V-A of the paper.
+//!
+//! * [`EQCast`] — "Extended Q-CAST": the two-user routing algorithm of
+//!   Shi & Qian (SIGCOMM 2020), extended to multi-user by chaining pair
+//!   channels `<u₁,u₂>, <u₂,u₃>, …` exactly as the paper describes.
+//! * [`NFusion`] — the MP-P protocol of Sutcliffe & Beghelli with limited
+//!   switch capacity: a star of user-to-center paths fused into a GHZ
+//!   state by one n-fusion measurement.
+
+mod e_q_cast;
+mod n_fusion;
+
+pub use e_q_cast::EQCast;
+pub use n_fusion::{FusionSuccess, NFusion};

@@ -1,0 +1,219 @@
+//! **Algorithm 1** — maximum entanglement-rate channel between two users.
+//!
+//! The paper's Eq. 1 objective is a product, so §IV-A applies the `−ln`
+//! transform: traversing edge `e` costs `α·L(e) − ln q` and the best
+//! channel is the min-cost path. The pseudocode's line 27 recovers the
+//! rate as `exp(−(−ln q) − Dist) = q^(l−1)·exp(−α·ΣL)` — one `−ln q` is
+//! refunded because a channel of `l` links performs only `l − 1` swaps.
+//!
+//! Capacity awareness: only a switch with at least 2 free qubits may relay
+//! (the pseudocode's line 11 guard `Q ≥ 2`); users never relay — a channel
+//! passes "through vertices in R" (Definition 2).
+
+use qnet_graph::paths::{dijkstra, DijkstraConfig, DijkstraRun};
+use qnet_graph::{EdgeRef, NodeId};
+
+use crate::channel::{CapacityMap, Channel};
+use crate::model::QuantumNetwork;
+
+/// A single-source Algorithm-1 run: max-rate channels from one user to
+/// every other reachable user, under a residual capacity map.
+///
+/// The paper's complexity discussion (§IV-B) notes that running the
+/// search once per *source* and recovering all destinations through the
+/// `Prev` array saves a factor of `|U|`; this type is that optimization.
+pub struct ChannelFinder<'n> {
+    net: &'n QuantumNetwork,
+    run: DijkstraRun,
+}
+
+impl<'n> ChannelFinder<'n> {
+    /// Runs Algorithm 1 from `source` under `capacity`.
+    ///
+    /// Every interior vertex of any returned channel is a switch with at
+    /// least 2 free qubits *in the given map*; the map is not mutated
+    /// (reservation is the caller's decision).
+    pub fn from_source(net: &'n QuantumNetwork, capacity: &CapacityMap, source: NodeId) -> Self {
+        let q = net.physics().swap_success;
+        let alpha = net.physics().attenuation;
+        // Edge cost α·L − ln q (non-negative since q ≤ 1). A degenerate
+        // q = 0 makes every swap impossible; only direct user-user fibers
+        // (zero swaps) remain usable, which we express by forbidding all
+        // relaying while keeping single edges finite.
+        let neg_ln_q = if q > 0.0 { -(q.ln()) } else { 0.0 };
+        let swaps_possible = q > 0.0;
+        let cfg = DijkstraConfig {
+            edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
+            can_relay: {
+                let cap = capacity.clone();
+                move |v: NodeId| swaps_possible && net.kind(v).is_switch() && cap.can_relay(v)
+            },
+        };
+        let run = dijkstra(net.graph(), source, &cfg);
+        ChannelFinder { net, run }
+    }
+
+    /// The source user of this run.
+    pub fn source(&self) -> NodeId {
+        self.run.source()
+    }
+
+    /// The max-rate channel from the source to `destination`, or `None`
+    /// when no capacity-respecting channel exists.
+    ///
+    /// The channel's rate is recomputed exactly from Eq. 1 (not from the
+    /// search cost), so no floating-point drift accumulates.
+    pub fn channel_to(&self, destination: NodeId) -> Option<Channel> {
+        if destination == self.run.source() {
+            return None;
+        }
+        let path = self.run.path_to(destination)?;
+        Some(Channel::from_path(self.net, path))
+    }
+}
+
+/// Algorithm 1 for a single pair: the max-rate channel between users `a`
+/// and `b` under `capacity`, or `None` when infeasible.
+///
+/// # Example
+///
+/// ```
+/// use muerp_core::prelude::*;
+/// use muerp_core::algorithms::max_rate_channel;
+///
+/// let net = NetworkSpec::paper_default().build(7);
+/// let cap = CapacityMap::new(&net);
+/// let (a, b) = (net.users()[0], net.users()[1]);
+/// if let Some(ch) = max_rate_channel(&net, &cap, a, b) {
+///     assert!(ch.rate.value() > 0.0);
+///     assert_eq!(ch.user_pair(), if a <= b { (a, b) } else { (b, a) });
+/// }
+/// ```
+pub fn max_rate_channel(
+    net: &QuantumNetwork,
+    capacity: &CapacityMap,
+    a: NodeId,
+    b: NodeId,
+) -> Option<Channel> {
+    ChannelFinder::from_source(net, capacity, a).channel_to(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeKind, PhysicsParams, QuantumNetwork};
+    use qnet_graph::Graph;
+
+    /// Two parallel routes between users a and b:
+    ///   a —1000— s1 —1000— b        (2 links, 1 swap)
+    ///   a —————— 2500 ——————— b     (1 link, 0 swaps)
+    /// With α = 1e-4, q = 0.9: via s1: e^{-0.2}·0.9 ≈ 0.7369;
+    /// direct: e^{-0.25} ≈ 0.7788 → direct wins.
+    fn two_route_net(q: f64) -> (QuantumNetwork, [NodeId; 3]) {
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let s1 = g.add_node(NodeKind::Switch { qubits: 4 });
+        let b = g.add_node(NodeKind::User);
+        g.add_edge(a, s1, 1000.0);
+        g.add_edge(s1, b, 1000.0);
+        g.add_edge(a, b, 2500.0);
+        let physics = PhysicsParams {
+            swap_success: q,
+            attenuation: 1e-4,
+        };
+        (QuantumNetwork::from_graph(g, physics), [a, s1, b])
+    }
+
+    #[test]
+    fn picks_route_with_best_rate_not_fewest_hops_or_shortest_length() {
+        // q = 0.9: the direct (longer but swap-free) route wins.
+        let (net, [a, _s1, b]) = two_route_net(0.9);
+        let cap = CapacityMap::new(&net);
+        let c = max_rate_channel(&net, &cap, a, b).unwrap();
+        assert_eq!(c.link_count(), 1);
+        assert!((c.rate.value() - (-0.25f64).exp()).abs() < 1e-12);
+
+        // q = 0.99: the relayed route (shorter fibers) wins.
+        let (net, [a, s1, b]) = two_route_net(0.99);
+        let cap = CapacityMap::new(&net);
+        let c = max_rate_channel(&net, &cap, a, b).unwrap();
+        assert_eq!(c.link_count(), 2);
+        assert_eq!(c.interior_switches(), &[s1]);
+        assert!((c.rate.value() - (-0.2f64).exp() * 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_residual_capacity() {
+        let (net, [a, _s1, b]) = two_route_net(0.99);
+        let mut cap = CapacityMap::new(&net);
+        let via_switch = max_rate_channel(&net, &cap, a, b).unwrap();
+        assert_eq!(via_switch.link_count(), 2);
+        cap.reserve(&via_switch);
+        cap.reserve(&via_switch); // 4 qubits gone
+        let fallback = max_rate_channel(&net, &cap, a, b).unwrap();
+        assert_eq!(fallback.link_count(), 1, "switch exhausted → direct fiber");
+    }
+
+    #[test]
+    fn users_never_relay() {
+        // a — u — b where u is a *user*: no channel may pass through u,
+        // so a and b are unconnectable.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let u = g.add_node(NodeKind::User);
+        let b = g.add_node(NodeKind::User);
+        g.add_edge(a, u, 100.0);
+        g.add_edge(u, b, 100.0);
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        let cap = CapacityMap::new(&net);
+        assert!(max_rate_channel(&net, &cap, a, b).is_none());
+        // …but a–u itself is routable (u is an endpoint there).
+        assert!(max_rate_channel(&net, &cap, a, u).is_some());
+    }
+
+    #[test]
+    fn switch_with_one_qubit_cannot_relay() {
+        let (net, ids) = two_route_net(0.99);
+        let mut g = net.graph().clone();
+        *g.node_mut(ids[1]) = NodeKind::Switch { qubits: 1 };
+        let net = QuantumNetwork::from_graph(g, *net.physics());
+        let cap = CapacityMap::new(&net);
+        let c = max_rate_channel(&net, &cap, ids[0], ids[2]).unwrap();
+        assert_eq!(c.link_count(), 1, "1-qubit switch unusable, direct route");
+    }
+
+    #[test]
+    fn single_source_run_matches_pairwise_calls() {
+        let net = crate::model::NetworkSpec::paper_default().build(11);
+        let cap = CapacityMap::new(&net);
+        let users = net.users().to_vec();
+        let finder = ChannelFinder::from_source(&net, &cap, users[0]);
+        for &dst in &users[1..] {
+            let via_run = finder.channel_to(dst);
+            let via_pair = max_rate_channel(&net, &cap, users[0], dst);
+            match (via_run, via_pair) {
+                (Some(x), Some(y)) => {
+                    assert!((x.rate.value() - y.rate.value()).abs() < 1e-12)
+                }
+                (None, None) => {}
+                other => panic!("disagreement for {dst}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_channel_to_self() {
+        let (net, [a, ..]) = two_route_net(0.9);
+        let cap = CapacityMap::new(&net);
+        assert!(max_rate_channel(&net, &cap, a, a).is_none());
+    }
+
+    #[test]
+    fn perfect_swap_rate_prefers_short_fibers() {
+        let (net, [a, s1, b]) = two_route_net(1.0);
+        let cap = CapacityMap::new(&net);
+        let c = max_rate_channel(&net, &cap, a, b).unwrap();
+        assert_eq!(c.interior_switches(), &[s1]);
+        assert!((c.rate.value() - (-0.2f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Quantum channels (paper Eq. 1) and switch-capacity bookkeeping.
+//!
+//! A *channel* is a width-1 path between two quantum users whose interior
+//! vertices are switches; each interior switch dedicates 2 qubits to the
+//! channel (one per adjacent quantum link). Its entanglement rate is
+//!
+//! ```text
+//! P_Λ = q^(l−1) · exp(−α · Σ Lᵢ)
+//! ```
+//!
+//! where `l` is the number of quantum links. Optical fibers are multi-core
+//! and uncapacitated (paper §II-A), so two channels may share a fiber —
+//! only switch qubits are scarce, tracked by [`CapacityMap`].
+
+use qnet_graph::paths::Path;
+use qnet_graph::NodeId;
+
+use crate::error::ValidationError;
+use crate::model::QuantumNetwork;
+use crate::rate::Rate;
+
+/// A quantum channel: a user-to-user path plus its entanglement rate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Channel {
+    /// The underlying path (nodes, edges, and `−ln` cost).
+    pub path: Path,
+    /// The channel's entanglement rate per Eq. 1.
+    pub rate: Rate,
+}
+
+impl Channel {
+    /// Builds a channel from a path, computing Eq. 1 from the network's
+    /// physics: product of per-link `exp(−α·L)` times `q^(l−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path has no edges (a channel connects two *distinct*
+    /// users).
+    pub fn from_path(net: &QuantumNetwork, path: Path) -> Self {
+        assert!(!path.edges.is_empty(), "a channel needs at least one link");
+        let links: Rate = path.edges.iter().map(|&e| net.link_rate(e)).product();
+        let swaps = net
+            .physics()
+            .swap_rate()
+            .powi(path.edges.len() as u32 - 1);
+        let rate = links * swaps;
+        Channel { path, rate }
+    }
+
+    /// Source user.
+    pub fn source(&self) -> NodeId {
+        self.path.source()
+    }
+
+    /// Destination user.
+    pub fn destination(&self) -> NodeId {
+        self.path.destination()
+    }
+
+    /// The unordered user pair this channel connects, normalized so the
+    /// smaller id comes first (the model allows at most one channel per
+    /// pair).
+    pub fn user_pair(&self) -> (NodeId, NodeId) {
+        let (a, b) = (self.source(), self.destination());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of quantum links (`l` in Eq. 1).
+    pub fn link_count(&self) -> usize {
+        self.path.edges.len()
+    }
+
+    /// Interior switches of the channel (each consumes 2 qubits).
+    pub fn interior_switches(&self) -> &[NodeId] {
+        self.path.interior()
+    }
+
+    /// Structural validation against a network: endpoints are users,
+    /// interior nodes are switches, the path is simple, edges connect
+    /// their claimed endpoints, and the stored rate matches Eq. 1.
+    pub fn validate(&self, net: &QuantumNetwork) -> Result<(), ValidationError> {
+        let nodes = &self.path.nodes;
+        if nodes.len() < 2 {
+            return Err(ValidationError::NotSpanningTree {
+                detail: "channel with fewer than two nodes".into(),
+            });
+        }
+        for &endpoint in [self.source(), self.destination()].iter() {
+            if !net.is_user(endpoint) {
+                return Err(ValidationError::EndpointNotUser { node: endpoint });
+            }
+        }
+        for &mid in self.path.interior() {
+            if net.is_user(mid) {
+                return Err(ValidationError::InteriorNotSwitch { node: mid });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &v in nodes {
+            if !seen.insert(v) {
+                return Err(ValidationError::NotSimplePath { node: v });
+            }
+        }
+        if self.path.edges.len() != nodes.len() - 1 {
+            return Err(ValidationError::BrokenPath);
+        }
+        for (i, &e) in self.path.edges.iter().enumerate() {
+            let (a, b) = net.graph().endpoints(e);
+            let (x, y) = (nodes[i], nodes[i + 1]);
+            if !((a == x && b == y) || (a == y && b == x)) {
+                return Err(ValidationError::BrokenPath);
+            }
+        }
+        let recomputed = Channel::from_path(net, self.path.clone()).rate;
+        if (recomputed.value() - self.rate.value()).abs() > 1e-9 * recomputed.value().max(1e-300) {
+            return Err(ValidationError::RateMismatch {
+                claimed: self.rate.value(),
+                recomputed: recomputed.value(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Residual qubit capacity per node.
+///
+/// Users are unconstrained (tracked as `u32::MAX`, never decremented in
+/// practice because channels only consume interior-switch qubits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityMap {
+    free: Vec<u32>,
+}
+
+impl CapacityMap {
+    /// Initial capacities from a network: each switch starts with its full
+    /// qubit count.
+    pub fn new(net: &QuantumNetwork) -> Self {
+        CapacityMap {
+            free: net
+                .graph()
+                .node_ids()
+                .map(|v| net.kind(v).qubits())
+                .collect(),
+        }
+    }
+
+    /// A capacity map where every node is unconstrained — the regime of
+    /// the paper's Algorithm 2 sufficient condition.
+    pub fn unbounded(net: &QuantumNetwork) -> Self {
+        CapacityMap {
+            free: vec![u32::MAX; net.graph().node_count()],
+        }
+    }
+
+    /// Remaining free qubits at `v`.
+    pub fn free(&self, v: NodeId) -> u32 {
+        self.free[v.index()]
+    }
+
+    /// `true` when `v` can relay one more channel (≥ 2 free qubits).
+    pub fn can_relay(&self, v: NodeId) -> bool {
+        self.free[v.index()] >= 2
+    }
+
+    /// `true` when every interior switch of `channel` has ≥ 2 free qubits.
+    pub fn admits(&self, channel: &Channel) -> bool {
+        channel
+            .interior_switches()
+            .iter()
+            .all(|&s| self.can_relay(s))
+    }
+
+    /// Reserves 2 qubits at every interior switch of `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some interior switch lacks capacity — call
+    /// [`CapacityMap::admits`] first.
+    pub fn reserve(&mut self, channel: &Channel) {
+        assert!(
+            self.admits(channel),
+            "reserve called on a channel the capacity map does not admit"
+        );
+        for &s in channel.interior_switches() {
+            self.free[s.index()] = self.free[s.index()].saturating_sub(2);
+        }
+    }
+
+    /// Releases the 2 qubits per interior switch previously reserved for
+    /// `channel`. Saturates at `u32::MAX` for unbounded entries.
+    pub fn release(&mut self, channel: &Channel) {
+        for &s in channel.interior_switches() {
+            self.free[s.index()] = self.free[s.index()].saturating_add(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeKind, PhysicsParams};
+    use qnet_graph::Graph;
+
+    /// u0 — s1 — u2, link lengths 1000 each; plus direct u0—u2 of 5000.
+    fn line_net() -> (QuantumNetwork, [NodeId; 3]) {
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let u0 = g.add_node(NodeKind::User);
+        let s1 = g.add_node(NodeKind::Switch { qubits: 4 });
+        let u2 = g.add_node(NodeKind::User);
+        g.add_edge(u0, s1, 1000.0);
+        g.add_edge(s1, u2, 1000.0);
+        g.add_edge(u0, u2, 5000.0);
+        (
+            QuantumNetwork::from_graph(g, PhysicsParams::paper_default()),
+            [u0, s1, u2],
+        )
+    }
+
+    fn channel_via_switch(net: &QuantumNetwork, nodes: Vec<NodeId>) -> Channel {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.graph().find_edge(w[0], w[1]).unwrap())
+            .collect();
+        let path = Path {
+            nodes,
+            edges,
+            cost: 0.0,
+        };
+        Channel::from_path(net, path)
+    }
+
+    #[test]
+    fn eq1_rate_two_links_one_swap() {
+        let (net, [u0, s1, u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, s1, u2]);
+        // p = exp(-1e-4 * 1000) = exp(-0.1) per link; q = 0.9; rate = p²q.
+        let p = (-0.1f64).exp();
+        assert!((c.rate.value() - p * p * 0.9).abs() < 1e-12);
+        assert_eq!(c.link_count(), 2);
+        assert_eq!(c.interior_switches(), &[s1]);
+        assert!(c.validate(&net).is_ok());
+    }
+
+    #[test]
+    fn eq1_rate_direct_link_no_swap() {
+        let (net, [u0, _s1, u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, u2]);
+        let p = (-0.5f64).exp();
+        assert!((c.rate.value() - p).abs() < 1e-12);
+        assert!(c.interior_switches().is_empty());
+        assert!(c.validate(&net).is_ok());
+    }
+
+    #[test]
+    fn user_pair_is_normalized() {
+        let (net, [u0, s1, u2]) = line_net();
+        let forward = channel_via_switch(&net, vec![u0, s1, u2]);
+        let backward = channel_via_switch(&net, vec![u2, s1, u0]);
+        assert_eq!(forward.user_pair(), backward.user_pair());
+    }
+
+    #[test]
+    fn validate_rejects_switch_endpoint() {
+        let (net, [u0, s1, _u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, s1]);
+        assert_eq!(
+            c.validate(&net),
+            Err(ValidationError::EndpointNotUser { node: s1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_user_interior() {
+        // u0 - u2 - ... : fabricate a path that relays through user u2.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let u0 = g.add_node(NodeKind::User);
+        let u1 = g.add_node(NodeKind::User);
+        let u2 = g.add_node(NodeKind::User);
+        g.add_edge(u0, u1, 10.0);
+        g.add_edge(u1, u2, 10.0);
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        let c = channel_via_switch(&net, vec![u0, u1, u2]);
+        assert_eq!(
+            c.validate(&net),
+            Err(ValidationError::InteriorNotSwitch { node: u1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_tampered_rate() {
+        let (net, [u0, s1, u2]) = line_net();
+        let mut c = channel_via_switch(&net, vec![u0, s1, u2]);
+        c.rate = Rate::from_prob(0.5);
+        assert!(matches!(
+            c.validate(&net),
+            Err(ValidationError::RateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_reserve_release_cycle() {
+        let (net, [u0, s1, u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, s1, u2]);
+        let mut cap = CapacityMap::new(&net);
+        assert_eq!(cap.free(s1), 4);
+        assert!(cap.admits(&c));
+        cap.reserve(&c);
+        assert_eq!(cap.free(s1), 2);
+        assert!(cap.can_relay(s1));
+        cap.reserve(&c);
+        assert_eq!(cap.free(s1), 0);
+        assert!(!cap.admits(&c));
+        cap.release(&c);
+        assert_eq!(cap.free(s1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not admit")]
+    fn reserve_without_capacity_panics() {
+        let (net, [u0, s1, u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, s1, u2]);
+        let mut cap = CapacityMap::new(&net);
+        cap.reserve(&c);
+        cap.reserve(&c);
+        cap.reserve(&c); // third reservation exceeds 4 qubits
+    }
+
+    #[test]
+    fn users_are_never_capacity_limited() {
+        let (net, [u0, _s1, _u2]) = line_net();
+        let cap = CapacityMap::new(&net);
+        assert_eq!(cap.free(u0), u32::MAX);
+        assert!(cap.can_relay(u0), "users have unbounded memory");
+    }
+
+    #[test]
+    fn unbounded_map_admits_everything() {
+        let (net, [u0, s1, u2]) = line_net();
+        let c = channel_via_switch(&net, vec![u0, s1, u2]);
+        let mut cap = CapacityMap::unbounded(&net);
+        for _ in 0..100 {
+            assert!(cap.admits(&c));
+            cap.reserve(&c);
+        }
+    }
+}

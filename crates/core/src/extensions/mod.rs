@@ -1,0 +1,13 @@
+//! The paper's two named extensions (§II-D, §VII): fidelity-aware
+//! entanglement routing and concurrent routing of multiple independent
+//! entanglement groups.
+
+pub mod fidelity;
+pub mod multi_group;
+pub mod online;
+pub mod purified;
+
+pub use fidelity::{werner_swap_fidelity, FidelityAwarePrim, FidelityModel};
+pub use multi_group::{route_groups, GroupOutcome, GroupStrategy};
+pub use online::{simulate_online, OnlineConfig, OnlineStats};
+pub use purified::{purification_plan, PurificationPlan, PurifiedPrim};

@@ -1,0 +1,355 @@
+//! Online entanglement sessions — operating the quantum internet over
+//! time.
+//!
+//! The paper routes one offline request; a deployed network serves a
+//! *stream*: entanglement-group requests arrive, hold switch qubits for
+//! the lifetime of their session, and depart. This module simulates that
+//! operation on top of the MUERP machinery:
+//!
+//! * each slot, a new group request arrives with probability
+//!   [`OnlineConfig::arrival_prob`], drawing its members from the users
+//!   not currently in a session;
+//! * admission control routes the group Prim-style (Algorithm 4) over
+//!   the *residual* capacity left by active sessions — infeasible
+//!   requests are **blocked** (the classic Erlang-style metric);
+//! * admitted sessions hold their interior-switch qubits for a sampled
+//!   duration, then release them.
+//!
+//! The output is the blocking ratio, mean session rate, and concurrency
+//! statistics — the quantities an architectural design study (the
+//! paper's §VII outlook) would sweep.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{CapacityMap, Channel};
+use crate::model::QuantumNetwork;
+use crate::tree::EntanglementTree;
+
+use crate::algorithms::ChannelFinder;
+
+/// Workload and service parameters of the online simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Per-slot probability a new group request arrives.
+    pub arrival_prob: f64,
+    /// Inclusive range of requested group sizes.
+    pub group_size: (usize, usize),
+    /// Inclusive range of session durations in slots.
+    pub hold_slots: (u64, u64),
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            arrival_prob: 0.3,
+            group_size: (2, 4),
+            hold_slots: (5, 20),
+        }
+    }
+}
+
+impl OnlineConfig {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.arrival_prob),
+            "arrival probability must be in [0, 1]"
+        );
+        assert!(
+            2 <= self.group_size.0 && self.group_size.0 <= self.group_size.1,
+            "group sizes must satisfy 2 ≤ min ≤ max"
+        );
+        assert!(
+            1 <= self.hold_slots.0 && self.hold_slots.0 <= self.hold_slots.1,
+            "hold durations must satisfy 1 ≤ min ≤ max"
+        );
+    }
+}
+
+/// Aggregate statistics of one online run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests admitted (routed successfully).
+    pub admitted: u64,
+    /// Requests blocked because too few users were free of sessions.
+    pub blocked_no_users: u64,
+    /// Requests blocked because no capacity-respecting tree existed.
+    pub blocked_capacity: u64,
+    /// Mean entanglement rate over admitted sessions.
+    pub mean_session_rate: f64,
+    /// Mean number of concurrently active sessions (per slot).
+    pub mean_active_sessions: f64,
+    /// Peak concurrent sessions.
+    pub peak_active_sessions: usize,
+}
+
+impl OnlineStats {
+    /// Total blocked requests (either reason).
+    pub fn blocked(&self) -> u64 {
+        self.blocked_no_users + self.blocked_capacity
+    }
+
+    /// Fraction of arrived requests that were blocked.
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.blocked() as f64 / self.arrived as f64
+        }
+    }
+}
+
+struct Session {
+    tree: EntanglementTree,
+    expires_at: u64,
+    members: Vec<qnet_graph::NodeId>,
+}
+
+/// Runs the online session simulation for `slots` slots.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics on out-of-range configuration or when the network has fewer
+/// users than the minimum group size.
+pub fn simulate_online(
+    net: &QuantumNetwork,
+    cfg: OnlineConfig,
+    slots: u64,
+    seed: u64,
+) -> OnlineStats {
+    cfg.validate();
+    assert!(
+        net.user_count() >= cfg.group_size.0,
+        "network has {} users, groups need at least {}",
+        net.user_count(),
+        cfg.group_size.0
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut capacity = CapacityMap::new(net);
+    let mut active: Vec<Session> = Vec::new();
+    let mut stats = OnlineStats::default();
+    let mut session_rate_sum = 0.0f64;
+    let mut active_slot_sum = 0u64;
+
+    for now in 0..slots {
+        // Departures first: free the qubits of expired sessions.
+        let mut kept = Vec::with_capacity(active.len());
+        for session in active.drain(..) {
+            if session.expires_at <= now {
+                for c in &session.tree.channels {
+                    capacity.release(c);
+                }
+            } else {
+                kept.push(session);
+            }
+        }
+        active = kept;
+
+        // Arrival?
+        if rng.random_bool(cfg.arrival_prob) {
+            stats.arrived += 1;
+            let busy: std::collections::HashSet<_> = active
+                .iter()
+                .flat_map(|s| s.members.iter().copied())
+                .collect();
+            let mut free: Vec<_> = net
+                .users()
+                .iter()
+                .copied()
+                .filter(|u| !busy.contains(u))
+                .collect();
+            let size = rng.random_range(cfg.group_size.0..=cfg.group_size.1);
+            if free.len() < size {
+                stats.blocked_no_users += 1;
+            } else {
+                free.shuffle(&mut rng);
+                let members: Vec<_> = free[..size].to_vec();
+                match route_group(net, &mut capacity, &members) {
+                    Some(tree) => {
+                        stats.admitted += 1;
+                        session_rate_sum += tree.rate().value();
+                        let hold = rng.random_range(cfg.hold_slots.0..=cfg.hold_slots.1);
+                        active.push(Session {
+                            tree,
+                            expires_at: now + hold,
+                            members,
+                        });
+                    }
+                    None => stats.blocked_capacity += 1,
+                }
+            }
+        }
+
+        active_slot_sum += active.len() as u64;
+        stats.peak_active_sessions = stats.peak_active_sessions.max(active.len());
+    }
+
+    stats.mean_session_rate = if stats.admitted == 0 {
+        0.0
+    } else {
+        session_rate_sum / stats.admitted as f64
+    };
+    stats.mean_active_sessions = active_slot_sum as f64 / slots.max(1) as f64;
+    stats
+}
+
+/// Prim-style group routing over shared residual capacity; reserves the
+/// qubits on success, touches nothing on failure.
+fn route_group(
+    net: &QuantumNetwork,
+    capacity: &mut CapacityMap,
+    members: &[qnet_graph::NodeId],
+) -> Option<EntanglementTree> {
+    let mut in_tree = vec![false; net.graph().node_count()];
+    in_tree[members[0].index()] = true;
+    let mut tree = EntanglementTree::new();
+    let mut trial_capacity = capacity.clone();
+    for _ in 1..members.len() {
+        let mut best: Option<Channel> = None;
+        for &src in members.iter().filter(|u| in_tree[u.index()]) {
+            let finder = ChannelFinder::from_source(net, &trial_capacity, src);
+            for &dst in members.iter().filter(|u| !in_tree[u.index()]) {
+                if let Some(c) = finder.channel_to(dst) {
+                    if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+        let c = best?;
+        trial_capacity.reserve(&c);
+        let newcomer = if in_tree[c.source().index()] {
+            c.destination()
+        } else {
+            c.source()
+        };
+        in_tree[newcomer.index()] = true;
+        tree.push(c);
+    }
+    *capacity = trial_capacity;
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkSpec;
+
+    /// Seed 52 yields a network where every user pair is routable (some
+    /// seeds strand a user behind user-only neighbors — a real model
+    /// phenomenon, but noise for these tests).
+    fn net() -> QuantumNetwork {
+        NetworkSpec::paper_default().build(52)
+    }
+
+    #[test]
+    fn no_arrivals_no_sessions() {
+        let stats = simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 0.0,
+                ..OnlineConfig::default()
+            },
+            500,
+            1,
+        );
+        assert_eq!(stats.arrived, 0);
+        assert_eq!(stats.blocking_ratio(), 0.0);
+        assert_eq!(stats.peak_active_sessions, 0);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let stats = simulate_online(&net(), OnlineConfig::default(), 2_000, 2);
+        assert!(stats.arrived > 0);
+        assert_eq!(stats.arrived, stats.admitted + stats.blocked());
+        assert!((0.0..=1.0).contains(&stats.blocking_ratio()));
+        assert!(stats.mean_active_sessions <= stats.peak_active_sessions as f64);
+        if stats.admitted > 0 {
+            assert!(stats.mean_session_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavier_load_blocks_more() {
+        let light = simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 0.05,
+                hold_slots: (2, 4),
+                ..OnlineConfig::default()
+            },
+            4_000,
+            3,
+        );
+        let heavy = simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 0.9,
+                hold_slots: (30, 60),
+                ..OnlineConfig::default()
+            },
+            4_000,
+            3,
+        );
+        assert!(
+            heavy.blocking_ratio() > light.blocking_ratio(),
+            "heavy {} vs light {}",
+            heavy.blocking_ratio(),
+            light.blocking_ratio()
+        );
+        assert!(heavy.mean_active_sessions > light.mean_active_sessions);
+    }
+
+    #[test]
+    fn sessions_release_their_qubits() {
+        // With short holds and long gaps, capacity returns to full:
+        // admissions late in the run succeed as easily as early ones.
+        let stats = simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 0.02,
+                group_size: (2, 2),
+                hold_slots: (1, 2),
+            },
+            8_000,
+            4,
+        );
+        assert!(stats.arrived > 50);
+        // Pairs on an otherwise idle default network are almost always
+        // routable.
+        assert!(
+            stats.blocking_ratio() < 0.05,
+            "blocking {} too high for an idle network",
+            stats.blocking_ratio()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_online(&net(), OnlineConfig::default(), 1_000, 5);
+        let b = simulate_online(&net(), OnlineConfig::default(), 1_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival probability")]
+    fn bad_config_rejected() {
+        simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 1.5,
+                ..OnlineConfig::default()
+            },
+            10,
+            6,
+        );
+    }
+}

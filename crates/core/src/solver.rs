@@ -1,0 +1,352 @@
+//! The uniform algorithm interface and end-to-end solution validation.
+//!
+//! Every routing method in this crate — the paper's Algorithms 2–4 and the
+//! two comparison baselines — implements [`RoutingAlgorithm`], so the
+//! experiment harness can sweep them interchangeably (paper §V runs all
+//! five on every figure).
+
+use std::collections::{HashMap, HashSet};
+
+use qnet_graph::NodeId;
+
+use crate::channel::Channel;
+use crate::error::{RoutingError, ValidationError};
+use crate::model::QuantumNetwork;
+use crate::rate::Rate;
+use crate::tree::EntanglementTree;
+
+/// How a solution entangles the users.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolutionStyle {
+    /// An entanglement tree of user-to-user channels joined by BSM
+    /// swapping (the paper's algorithms and E-Q-CAST).
+    BsmTree,
+    /// A star of user-to-center paths fused into a GHZ state by one
+    /// n-fusion measurement at the center (the N-FUSION baseline).
+    FusionStar {
+        /// The fusion center (a switch with ≥ `|U|` qubits, or a user).
+        center: NodeId,
+        /// Success rate of the final GHZ projective measurement.
+        fusion_rate: Rate,
+    },
+}
+
+/// The output of a routing algorithm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    /// The routed channels. For [`SolutionStyle::BsmTree`] these are
+    /// user-to-user channels forming an entanglement tree; for
+    /// [`SolutionStyle::FusionStar`] they are user-to-center paths.
+    pub channels: Vec<Channel>,
+    /// The end-to-end entanglement rate of the user set.
+    pub rate: Rate,
+    /// Structural style of the solution.
+    pub style: SolutionStyle,
+}
+
+impl Solution {
+    /// Builds a BSM-tree solution from an entanglement tree.
+    pub fn from_tree(tree: EntanglementTree) -> Self {
+        let rate = tree.rate();
+        Solution {
+            channels: tree.channels,
+            rate,
+            style: SolutionStyle::BsmTree,
+        }
+    }
+
+    /// View the channel set as an [`EntanglementTree`] (meaningful for
+    /// [`SolutionStyle::BsmTree`] solutions).
+    pub fn as_tree(&self) -> EntanglementTree {
+        EntanglementTree {
+            channels: self.channels.clone(),
+        }
+    }
+}
+
+/// A multi-user entanglement routing algorithm.
+///
+/// Implementations must be deterministic given their own configuration
+/// (randomized choices take explicit seeds), so experiments are exactly
+/// reproducible.
+pub trait RoutingAlgorithm {
+    /// Short display name matching the paper's figure legends
+    /// (`"Alg-2"`, `"N-Fusion"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Routes an entanglement structure for `net`'s user set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] when no structure can be established —
+    /// the experiment harness scores this as entanglement rate 0, per the
+    /// paper's setup.
+    fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError>;
+}
+
+impl<T: RoutingAlgorithm + ?Sized> RoutingAlgorithm for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        (**self).solve(net)
+    }
+}
+
+/// Validates a solution end to end against the network.
+///
+/// For BSM trees this is [`EntanglementTree::validate`] plus a rate
+/// recomputation. For fusion stars it checks the star structure (every
+/// non-center user has exactly one path to the center), interior-switch
+/// capacity (2 qubits per visit) *plus* the center's one-qubit-per-path
+/// demand when the center is a switch, and the claimed rate.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found.
+pub fn validate_solution(net: &QuantumNetwork, solution: &Solution) -> Result<(), ValidationError> {
+    match solution.style {
+        SolutionStyle::BsmTree => {
+            let tree = solution.as_tree();
+            tree.validate(net)?;
+            let recomputed = tree.rate();
+            check_rate(solution.rate, recomputed)
+        }
+        SolutionStyle::FusionStar {
+            center,
+            fusion_rate,
+        } => validate_fusion_star(net, solution, center, fusion_rate),
+    }
+}
+
+fn check_rate(claimed: Rate, recomputed: Rate) -> Result<(), ValidationError> {
+    let (c, r) = (claimed.value(), recomputed.value());
+    if (c - r).abs() > 1e-9 * r.max(1e-300) {
+        return Err(ValidationError::RateMismatch {
+            claimed: c,
+            recomputed: r,
+        });
+    }
+    Ok(())
+}
+
+fn validate_fusion_star(
+    net: &QuantumNetwork,
+    solution: &Solution,
+    center: NodeId,
+    fusion_rate: Rate,
+) -> Result<(), ValidationError> {
+    let users: HashSet<NodeId> = net.users().iter().copied().collect();
+    let mut covered: HashSet<NodeId> = HashSet::new();
+    let mut demand: HashMap<NodeId, u32> = HashMap::new();
+
+    for c in &solution.channels {
+        // Identify the user endpoint; the other endpoint must be `center`.
+        let (src, dst) = (c.source(), c.destination());
+        let user_end = if dst == center {
+            src
+        } else if src == center {
+            dst
+        } else {
+            return Err(ValidationError::NotSpanningTree {
+                detail: format!("fusion path {src}–{dst} does not touch the center {center}"),
+            });
+        };
+        if !users.contains(&user_end) {
+            return Err(ValidationError::EndpointNotUser { node: user_end });
+        }
+        if !covered.insert(user_end) {
+            return Err(ValidationError::DuplicateUserPair {
+                a: user_end,
+                b: center,
+            });
+        }
+        // Structural path checks (simple, interior switches, edges real).
+        let mut seen = HashSet::new();
+        for &v in &c.path.nodes {
+            if !seen.insert(v) {
+                return Err(ValidationError::NotSimplePath { node: v });
+            }
+        }
+        for &mid in c.path.interior() {
+            if net.is_user(mid) {
+                return Err(ValidationError::InteriorNotSwitch { node: mid });
+            }
+            *demand.entry(mid).or_insert(0) += 2;
+        }
+        if c.path.edges.len() != c.path.nodes.len() - 1 {
+            return Err(ValidationError::BrokenPath);
+        }
+        for (i, &e) in c.path.edges.iter().enumerate() {
+            let (a, b) = net.graph().endpoints(e);
+            let (x, y) = (c.path.nodes[i], c.path.nodes[i + 1]);
+            if !((a == x && b == y) || (a == y && b == x)) {
+                return Err(ValidationError::BrokenPath);
+            }
+        }
+        // One qubit pinned at the center per incoming path when the
+        // center is a switch.
+        if net.kind(center).is_switch() {
+            *demand.entry(center).or_insert(0) += 1;
+        }
+        // Per-path rate must match Eq. 1 semantics.
+        let recomputed = Channel::from_path(net, c.path.clone());
+        check_rate(c.rate, recomputed.rate)?;
+    }
+
+    // Coverage: every user except a center-user needs a path.
+    let must_cover: HashSet<NodeId> = users.iter().copied().filter(|&u| u != center).collect();
+    if covered != must_cover {
+        return Err(ValidationError::NotSpanningTree {
+            detail: format!(
+                "fusion star covers {} of {} required users",
+                covered.len(),
+                must_cover.len()
+            ),
+        });
+    }
+
+    for (s, demanded) in demand {
+        let available = net.kind(s).qubits();
+        if demanded > available {
+            return Err(ValidationError::CapacityExceeded {
+                node: s,
+                demanded,
+                available,
+            });
+        }
+    }
+
+    let recomputed: Rate =
+        solution.channels.iter().map(|c| c.rate).product::<Rate>() * fusion_rate;
+    check_rate(solution.rate, recomputed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeKind, PhysicsParams};
+    use qnet_graph::paths::Path;
+    use qnet_graph::Graph;
+
+    fn star_net(qubits: u32) -> (QuantumNetwork, Vec<NodeId>, NodeId) {
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let users: Vec<NodeId> = (0..3).map(|_| g.add_node(NodeKind::User)).collect();
+        let center = g.add_node(NodeKind::Switch { qubits });
+        for &u in &users {
+            g.add_edge(u, center, 1000.0);
+        }
+        (
+            QuantumNetwork::from_graph(g, PhysicsParams::paper_default()),
+            users,
+            center,
+        )
+    }
+
+    fn path_channel(net: &QuantumNetwork, nodes: Vec<NodeId>) -> Channel {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.graph().find_edge(w[0], w[1]).unwrap())
+            .collect();
+        Channel::from_path(
+            net,
+            Path {
+                nodes,
+                edges,
+                cost: 0.0,
+            },
+        )
+    }
+
+    fn fusion_solution(net: &QuantumNetwork, users: &[NodeId], center: NodeId) -> Solution {
+        let channels: Vec<Channel> = users
+            .iter()
+            .map(|&u| path_channel(net, vec![u, center]))
+            .collect();
+        let fusion_rate = Rate::from_prob(0.9).powi(users.len() as u32 + 1 - 1);
+        let rate = channels.iter().map(|c| c.rate).product::<Rate>() * fusion_rate;
+        Solution {
+            channels,
+            rate,
+            style: SolutionStyle::FusionStar {
+                center,
+                fusion_rate,
+            },
+        }
+    }
+
+    #[test]
+    fn valid_fusion_star_passes() {
+        let (net, users, center) = star_net(3);
+        let sol = fusion_solution(&net, &users, center);
+        assert!(validate_solution(&net, &sol).is_ok());
+    }
+
+    #[test]
+    fn fusion_center_capacity_enforced() {
+        // 3 incoming paths need 3 qubits at the center; 2 is too few.
+        let (net, users, center) = star_net(2);
+        let sol = fusion_solution(&net, &users, center);
+        assert!(matches!(
+            validate_solution(&net, &sol),
+            Err(ValidationError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn fusion_star_must_cover_all_users() {
+        let (net, users, center) = star_net(3);
+        let mut sol = fusion_solution(&net, &users, center);
+        sol.channels.pop();
+        // Rate still consistent with the remaining channels.
+        let SolutionStyle::FusionStar { fusion_rate, .. } = sol.style else {
+            unreachable!()
+        };
+        sol.rate = sol.channels.iter().map(|c| c.rate).product::<Rate>() * fusion_rate;
+        assert!(matches!(
+            validate_solution(&net, &sol),
+            Err(ValidationError::NotSpanningTree { .. })
+        ));
+    }
+
+    #[test]
+    fn fusion_rate_mismatch_detected() {
+        let (net, users, center) = star_net(3);
+        let mut sol = fusion_solution(&net, &users, center);
+        sol.rate = Rate::from_prob(0.999);
+        assert!(matches!(
+            validate_solution(&net, &sol),
+            Err(ValidationError::RateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blanket_impl_for_references() {
+        // `&T: RoutingAlgorithm` lets the harness pass algorithms by
+        // reference (e.g. trait objects in sweep tables).
+        use crate::algorithms::PrimBased;
+        let algo = PrimBased::default();
+        let by_ref: &dyn RoutingAlgorithm = &algo;
+        assert_eq!(by_ref.name(), "Alg-4");
+        let net = crate::model::NetworkSpec::paper_default().build(1);
+        let a = algo.solve(&net);
+        let b = (&algo).solve(&net);
+        assert_eq!(a.is_ok(), b.is_ok());
+    }
+
+    #[test]
+    fn bsm_tree_solution_roundtrip() {
+        // Two users, one switch: single channel.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let s = g.add_node(NodeKind::Switch { qubits: 2 });
+        let b = g.add_node(NodeKind::User);
+        g.add_edge(a, s, 500.0);
+        g.add_edge(s, b, 500.0);
+        let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+        let tree: EntanglementTree = [path_channel(&net, vec![a, s, b])].into_iter().collect();
+        let sol = Solution::from_tree(tree);
+        assert_eq!(sol.style, SolutionStyle::BsmTree);
+        assert!(validate_solution(&net, &sol).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Entanglement trees (paper Eq. 2, Definition 1) and their validation.
+//!
+//! An *entanglement tree* over a user set `U` is a tree whose vertices are
+//! the users and whose edges are quantum channels; its rate is the product
+//! of the channel rates. A valid MUERP solution is an entanglement tree
+//! that additionally respects every switch's qubit capacity, with total
+//! demand summed over *all* channels passing through the switch.
+
+use std::collections::HashMap;
+
+use qnet_graph::{NodeId, UnionFind};
+
+use crate::channel::Channel;
+use crate::error::ValidationError;
+use crate::model::QuantumNetwork;
+use crate::rate::Rate;
+
+/// A set of quantum channels forming an entanglement tree over the users.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct EntanglementTree {
+    /// The channels (tree edges); `|U| − 1` of them in a valid solution.
+    pub channels: Vec<Channel>,
+}
+
+impl EntanglementTree {
+    /// An empty tree (valid only for `|U| ≤ 1`).
+    pub fn new() -> Self {
+        EntanglementTree::default()
+    }
+
+    /// The tree rate: the product of all channel rates (paper Eq. 2).
+    pub fn rate(&self) -> Rate {
+        self.channels.iter().map(|c| c.rate).product()
+    }
+
+    /// Adds a channel.
+    pub fn push(&mut self, channel: Channel) {
+        self.channels.push(channel);
+    }
+
+    /// Total qubit demand per switch across all channels (2 per interior
+    /// visit).
+    pub fn qubit_demand(&self) -> HashMap<NodeId, u32> {
+        let mut demand = HashMap::new();
+        for c in &self.channels {
+            for &s in c.interior_switches() {
+                *demand.entry(s).or_insert(0) += 2;
+            }
+        }
+        demand
+    }
+
+    /// Full MUERP validity check against a network:
+    ///
+    /// 1. every channel individually validates (endpoints users, interior
+    ///    switches, simple path, correct rate);
+    /// 2. at most one channel per user pair;
+    /// 3. the channels form a spanning tree over `U` (exactly `|U| − 1`
+    ///    channels, acyclic, connecting all users);
+    /// 4. per-switch qubit demand within capacity.
+    pub fn validate(&self, net: &QuantumNetwork) -> Result<(), ValidationError> {
+        for c in &self.channels {
+            c.validate(net)?;
+        }
+
+        let mut pairs = std::collections::HashSet::new();
+        for c in &self.channels {
+            if !pairs.insert(c.user_pair()) {
+                let (a, b) = c.user_pair();
+                return Err(ValidationError::DuplicateUserPair { a, b });
+            }
+        }
+
+        let users = net.users();
+        if self.channels.len() + 1 != users.len() {
+            return Err(ValidationError::NotSpanningTree {
+                detail: format!(
+                    "{} channels cannot span {} users (need {})",
+                    self.channels.len(),
+                    users.len(),
+                    users.len().saturating_sub(1)
+                ),
+            });
+        }
+        let mut uf = UnionFind::new(net.graph().node_count());
+        for c in &self.channels {
+            if !uf.union_nodes(c.source(), c.destination()) {
+                return Err(ValidationError::NotSpanningTree {
+                    detail: format!(
+                        "cycle: channel {} – {} joins already-connected users",
+                        c.source(),
+                        c.destination()
+                    ),
+                });
+            }
+        }
+        if !uf.all_same_set(users.iter().map(|u| u.index())) {
+            return Err(ValidationError::NotSpanningTree {
+                detail: "users left in separate components".into(),
+            });
+        }
+
+        for (s, demanded) in self.qubit_demand() {
+            let available = net.kind(s).qubits();
+            if demanded > available {
+                return Err(ValidationError::CapacityExceeded {
+                    node: s,
+                    demanded,
+                    available,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Channel> for EntanglementTree {
+    fn from_iter<I: IntoIterator<Item = Channel>>(iter: I) -> Self {
+        EntanglementTree {
+            channels: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{NodeKind, PhysicsParams};
+    use qnet_graph::paths::Path;
+    use qnet_graph::Graph;
+
+    /// Three users around one 4-qubit switch (the paper's Fig. 4a).
+    fn fig4a() -> (QuantumNetwork, [NodeId; 4]) {
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let alice = g.add_node(NodeKind::User);
+        let bob = g.add_node(NodeKind::User);
+        let carol = g.add_node(NodeKind::User);
+        let switch = g.add_node(NodeKind::Switch { qubits: 4 });
+        g.add_edge(alice, switch, 1000.0);
+        g.add_edge(bob, switch, 1000.0);
+        g.add_edge(carol, switch, 1000.0);
+        (
+            QuantumNetwork::from_graph(g, PhysicsParams::paper_default()),
+            [alice, bob, carol, switch],
+        )
+    }
+
+    fn chan(net: &QuantumNetwork, nodes: Vec<NodeId>) -> Channel {
+        let edges = nodes
+            .windows(2)
+            .map(|w| net.graph().find_edge(w[0], w[1]).unwrap())
+            .collect();
+        Channel::from_path(
+            net,
+            Path {
+                nodes,
+                edges,
+                cost: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn fig4a_tree_is_valid_and_rate_is_product() {
+        let (net, [alice, bob, carol, switch]) = fig4a();
+        let c1 = chan(&net, vec![alice, switch, bob]);
+        let c2 = chan(&net, vec![alice, switch, carol]);
+        let tree: EntanglementTree = [c1.clone(), c2.clone()].into_iter().collect();
+        assert!(tree.validate(&net).is_ok());
+        // Rate = (p²q)² with p = exp(-0.1), q = 0.9.
+        let expected = c1.rate.value() * c2.rate.value();
+        assert!((tree.rate().value() - expected).abs() < 1e-15);
+        // The switch uses all four qubits.
+        assert_eq!(tree.qubit_demand()[&switch], 4);
+    }
+
+    #[test]
+    fn fig4b_capacity_violation_detected() {
+        // Same topology but a 2-qubit switch: the paper's Fig. 4(b)
+        // discussion — classic connectivity holds, MUERP infeasible.
+        let (net, ids) = fig4a();
+        let mut g = net.graph().clone();
+        *g.node_mut(ids[3]) = NodeKind::Switch { qubits: 2 };
+        let net = QuantumNetwork::from_graph(g, *net.physics());
+        let [alice, bob, carol, switch] = ids;
+        let tree: EntanglementTree = [
+            chan(&net, vec![alice, switch, bob]),
+            chan(&net, vec![alice, switch, carol]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            tree.validate(&net),
+            Err(ValidationError::CapacityExceeded {
+                node: switch,
+                demanded: 4,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_channel_count_rejected() {
+        let (net, [alice, _bob, _carol, switch]) = fig4a();
+        let tree: EntanglementTree = [chan(&net, vec![alice, switch, _bob])]
+            .into_iter()
+            .collect();
+        assert!(matches!(
+            tree.validate(&net),
+            Err(ValidationError::NotSpanningTree { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        // 3 users, 3 channels — one too many, and cyclic.
+        let (net, [alice, bob, carol, switch]) = fig4a();
+        let mut g = net.graph().clone();
+        *g.node_mut(switch) = NodeKind::Switch { qubits: 6 };
+        let net = QuantumNetwork::from_graph(g, *net.physics());
+        let tree: EntanglementTree = [
+            chan(&net, vec![alice, switch, bob]),
+            chan(&net, vec![bob, switch, carol]),
+            chan(&net, vec![carol, switch, alice]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            tree.validate(&net),
+            Err(ValidationError::NotSpanningTree { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_pair_rejected() {
+        let (net, [alice, bob, _carol, switch]) = fig4a();
+        let tree: EntanglementTree = [
+            chan(&net, vec![alice, switch, bob]),
+            chan(&net, vec![bob, switch, alice]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            tree.validate(&net),
+            Err(ValidationError::DuplicateUserPair { a: alice, b: bob })
+        );
+    }
+
+    #[test]
+    fn empty_tree_rate_is_one() {
+        assert_eq!(EntanglementTree::new().rate(), Rate::ONE);
+    }
+}

@@ -1,0 +1,79 @@
+//! `repro` — regenerate every figure of the MUERP paper.
+//!
+//! ```text
+//! repro <fig5|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|headline|ablations|convergence|beyond|all> \
+//!       [--trials N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Prints each figure as an aligned text table and, with `--out`, writes
+//! one CSV per table into the directory.
+
+use std::process::ExitCode;
+
+use muerp_experiments::cli;
+use muerp_experiments::{ablations, beyond, convergence, figures};
+use muerp_experiments::{FigureTable, TrialConfig};
+
+fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
+    match id {
+        "fig5" => vec![figures::fig5(cfg)],
+        "fig6a" => vec![figures::fig6a(cfg)],
+        "fig6b" => vec![figures::fig6b(cfg)],
+        "fig7a" => vec![figures::fig7a(cfg)],
+        "fig7b" => vec![figures::fig7b(cfg)],
+        "fig8a" => vec![figures::fig8a(cfg)],
+        "fig8b" => vec![figures::fig8b(cfg)],
+        "headline" => vec![figures::headline(cfg)],
+        "ablations" => vec![
+            ablations::seed_choice(cfg),
+            ablations::retention_policy(cfg),
+            ablations::fusion_model(cfg),
+            ablations::local_search(cfg),
+        ],
+        "convergence" => vec![
+            convergence::trial_sensitivity(cfg.trials.max(20) * 2, cfg.base_seed),
+            convergence::dispersion(cfg),
+        ],
+        "beyond" => vec![
+            beyond::beyond_paper(cfg),
+            beyond::multi_group_concurrency(cfg),
+        ],
+        other => unreachable!("validated id {other}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match cli::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "MUERP reproduction — {} trial(s) per cell, base seed {}\n",
+        args.cfg.trials, args.cfg.base_seed
+    );
+    for id in &args.which {
+        let started = std::time::Instant::now();
+        for table in run_one(id, args.cfg) {
+            println!("{}", table.render_text());
+            if let Some(dir) = &args.out {
+                let path = dir.join(format!("{}.csv", table.id));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+        }
+        println!("({id} took {:.1?})\n", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! Argument parsing for the `repro` binary, factored out for testing.
+
+use std::path::PathBuf;
+
+use crate::runner::TrialConfig;
+
+/// Everything the `repro` binary accepts.
+pub const ALL_IDS: [&str; 11] = [
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "headline",
+    "ablations",
+    "convergence",
+    "beyond",
+];
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// Experiment ids to run, in order, deduplicated.
+    pub which: Vec<String>,
+    /// Trial configuration.
+    pub cfg: TrialConfig,
+    /// Optional CSV output directory.
+    pub out: Option<PathBuf>,
+}
+
+/// Parses the arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown ids/flags, missing flag
+/// values, or an empty selection.
+pub fn parse<I>(argv: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut which = Vec::new();
+    let mut cfg = TrialConfig::default();
+    let mut out = None;
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = argv.next().ok_or("--trials needs a value")?;
+                cfg.trials = v.parse().map_err(|e| format!("bad --trials: {e}"))?;
+                if cfg.trials == 0 {
+                    return Err("--trials must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                cfg.base_seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "all" => which.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => which.push(id.to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if which.is_empty() {
+        return Err(format!(
+            "usage: repro <{}|all> [--trials N] [--seed S] [--out DIR]",
+            ALL_IDS.join("|")
+        ));
+    }
+    which.dedup();
+    Ok(Args { which, cfg, out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_single_figure() {
+        let a = parse(s(&["fig5"])).unwrap();
+        assert_eq!(a.which, vec!["fig5"]);
+        assert_eq!(a.cfg, TrialConfig::default());
+        assert_eq!(a.out, None);
+    }
+
+    #[test]
+    fn parses_flags_in_any_order() {
+        let a = parse(s(&["--trials", "7", "fig8a", "--seed", "3", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(a.cfg.trials, 7);
+        assert_eq!(a.cfg.base_seed, 3);
+        assert_eq!(a.out, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(a.which, vec!["fig8a"]);
+    }
+
+    #[test]
+    fn all_expands_and_dedups() {
+        let a = parse(s(&["fig5", "all"])).unwrap();
+        // "fig5" then the full list; consecutive duplicates removed.
+        assert_eq!(a.which.len(), 1 + ALL_IDS.len() - 1);
+        assert_eq!(a.which[0], "fig5");
+    }
+
+    #[test]
+    fn rejects_unknown_id() {
+        let e = parse(s(&["fig9"])).unwrap_err();
+        assert!(e.contains("unknown argument: fig9"));
+    }
+
+    #[test]
+    fn rejects_zero_trials_and_missing_values() {
+        assert!(parse(s(&["fig5", "--trials", "0"])).unwrap_err().contains("positive"));
+        assert!(parse(s(&["fig5", "--trials"])).unwrap_err().contains("needs a value"));
+        assert!(parse(s(&["fig5", "--trials", "abc"])).unwrap_err().contains("bad --trials"));
+        assert!(parse(s(&["fig5", "--out"])).unwrap_err().contains("directory"));
+    }
+
+    #[test]
+    fn empty_selection_prints_usage() {
+        let e = parse(s(&[])).unwrap_err();
+        assert!(e.starts_with("usage:"));
+        for id in ALL_IDS {
+            assert!(e.contains(id), "usage must list {id}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! How many random networks does the §V-A protocol need?
+//!
+//! The paper averages 20 networks per cell "to reduce the impact of
+//! network topology randomness". This module quantifies that choice:
+//! mean rates at increasing trial counts, plus the across-network
+//! dispersion (coefficient of variation) of each algorithm at the
+//! default cell — giving the reproduction error bars the paper omits.
+
+use muerp_core::model::NetworkSpec;
+
+use crate::runner::{per_trial_rates, TrialConfig};
+use crate::suite::AlgoKind;
+use crate::table::FigureTable;
+
+/// Mean rate per algorithm at growing trial counts (all prefixes of one
+/// seed sequence, so rows are nested samples).
+pub fn trial_sensitivity(max_trials: u64, base_seed: u64) -> FigureTable {
+    let spec = NetworkSpec::paper_default();
+    let all = per_trial_rates(
+        |s| spec.build(s),
+        &AlgoKind::ALL,
+        TrialConfig {
+            trials: max_trials,
+            base_seed,
+        },
+    );
+    let mut rows = Vec::new();
+    let mut n = 5u64;
+    while n <= max_trials {
+        let means: Vec<f64> = (0..AlgoKind::ALL.len())
+            .map(|a| {
+                all[..n as usize].iter().map(|row| row[a]).sum::<f64>() / n as f64
+            })
+            .collect();
+        rows.push((n.to_string(), means));
+        n *= 2;
+    }
+    FigureTable {
+        id: "convergence_trials",
+        title: "Mean rate vs. number of averaged networks".into(),
+        x_label: "trials",
+        algos: AlgoKind::ALL.iter().map(|a| a.name()).collect(),
+        rows,
+    }
+}
+
+/// Across-network dispersion at the default cell: mean, standard
+/// deviation, and coefficient of variation per algorithm.
+pub fn dispersion(cfg: TrialConfig) -> FigureTable {
+    let spec = NetworkSpec::paper_default();
+    let all = per_trial_rates(|s| spec.build(s), &AlgoKind::ALL, cfg);
+    let n = cfg.trials as f64;
+    let mut rows = Vec::new();
+    for (a, algo) in AlgoKind::ALL.iter().enumerate() {
+        let mean = all.iter().map(|row| row[a]).sum::<f64>() / n;
+        let var = all.iter().map(|row| (row[a] - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+        let std = var.sqrt();
+        let cv = if mean > 0.0 { std / mean } else { 0.0 };
+        rows.push((algo.name().to_string(), vec![mean, std, cv]));
+    }
+    FigureTable {
+        id: "convergence_dispersion",
+        title: "Across-network dispersion at the default cell".into(),
+        x_label: "algorithm",
+        algos: vec!["mean", "std", "cv"],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_rows_are_prefix_nested() {
+        let t = trial_sensitivity(10, 300);
+        assert_eq!(t.rows.len(), 2); // n = 5, 10
+        assert_eq!(t.rows[0].0, "5");
+        assert_eq!(t.rows[1].0, "10");
+        for (_, means) in &t.rows {
+            assert!(means.iter().all(|m| (0.0..=1.0).contains(m)));
+        }
+    }
+
+    #[test]
+    fn dispersion_is_consistent() {
+        let t = dispersion(TrialConfig {
+            trials: 6,
+            base_seed: 400,
+        });
+        assert_eq!(t.rows.len(), 5);
+        for (name, v) in &t.rows {
+            let (mean, std, cv) = (v[0], v[1], v[2]);
+            assert!(mean >= 0.0, "{name}");
+            assert!(std >= 0.0, "{name}");
+            if mean > 0.0 {
+                assert!((cv - std / mean).abs() < 1e-12, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dispersion(TrialConfig {
+            trials: 4,
+            base_seed: 7,
+        });
+        let b = dispersion(TrialConfig {
+            trials: 4,
+            base_seed: 7,
+        });
+        assert_eq!(a, b);
+    }
+}

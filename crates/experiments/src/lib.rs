@@ -1,0 +1,45 @@
+//! # muerp-experiments — reproduction harness for the paper's evaluation
+//!
+//! One module per figure of §V (the paper has no numbered tables — all
+//! results are the seven figure panels plus the headline percentages in
+//! the §V-B text):
+//!
+//! | Function | Paper figure | Sweep |
+//! |---|---|---|
+//! | [`figures::fig5`] | Fig. 5 | topology ∈ {Waxman, Watts-Strogatz, Volchenkov} |
+//! | [`figures::fig6a`] | Fig. 6(a) | number of users |
+//! | [`figures::fig6b`] | Fig. 6(b) | number of switches |
+//! | [`figures::fig7a`] | Fig. 7(a) | average degree |
+//! | [`figures::fig7b`] | Fig. 7(b) | removed-edge ratio |
+//! | [`figures::fig8a`] | Fig. 8(a) | qubits per switch |
+//! | [`figures::fig8b`] | Fig. 8(b) | swap success rate |
+//! | [`figures::headline`] | §V-B text | max improvement over baselines |
+//!
+//! Defaults mirror §V-A: Waxman topology, 50 switches + 10 users in a
+//! 10 000 × 10 000 area, average degree 6, 4 qubits per switch,
+//! `q = 0.9`, `α = 10⁻⁴`, 20 random networks averaged, rate 0 on
+//! failure. Algorithm 2 always runs on a copy of the network whose
+//! switches hold `2·|U|` qubits, exactly as Fig. 8(a)'s caption
+//! prescribes ("The switches in Algorithm 2 ha\[ve\] 2|U| = 20 qubits").
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! cargo run -p muerp-experiments --bin repro --release -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod cli;
+pub mod beyond;
+pub mod convergence;
+pub mod figures;
+pub mod runner;
+pub mod suite;
+pub mod table;
+
+pub use runner::{mean_rates, TrialConfig};
+pub use suite::AlgoKind;
+pub use table::FigureTable;

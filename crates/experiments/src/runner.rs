@@ -1,0 +1,148 @@
+//! Seeded, parallel multi-trial execution.
+//!
+//! Every figure cell is an average over `trials` random networks
+//! (paper §V-A: 20). Trials are deterministic — trial `t` uses seed
+//! `base_seed + t` for both network generation and Algorithm 4's random
+//! seed user — and run in parallel across threads with crossbeam's
+//! scoped threads.
+
+use parking_lot::Mutex;
+
+use muerp_core::model::QuantumNetwork;
+
+use crate::suite::AlgoKind;
+
+/// Trial configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialConfig {
+    /// Number of random networks averaged per cell (paper: 20).
+    pub trials: u64,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            trials: 20,
+            base_seed: 0,
+        }
+    }
+}
+
+/// Runs every algorithm over `trials` networks produced by `build` and
+/// returns the mean entanglement rate per algorithm, in `algos` order.
+///
+/// `build(seed)` must be a pure function of the seed.
+pub fn mean_rates<F>(build: F, algos: &[AlgoKind], cfg: TrialConfig) -> Vec<f64>
+where
+    F: Fn(u64) -> QuantumNetwork + Sync,
+{
+    let totals = Mutex::new(vec![0.0f64; algos.len()]);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.trials.max(1) as usize);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= cfg.trials {
+                    break;
+                }
+                let seed = cfg.base_seed + t;
+                let net = build(seed);
+                let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();
+                let mut lock = totals.lock();
+                for (acc, r) in lock.iter_mut().zip(&rates) {
+                    *acc += r;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    totals
+        .into_inner()
+        .into_iter()
+        .map(|sum| sum / cfg.trials as f64)
+        .collect()
+}
+
+/// Like [`mean_rates`], but returns the full per-trial rate matrix
+/// (`result[t][a]` = algorithm `a`'s rate on trial `t`), for variance and
+/// convergence analyses.
+pub fn per_trial_rates<F>(build: F, algos: &[AlgoKind], cfg: TrialConfig) -> Vec<Vec<f64>>
+where
+    F: Fn(u64) -> QuantumNetwork + Sync,
+{
+    let rows = Mutex::new(vec![Vec::new(); cfg.trials as usize]);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.trials.max(1) as usize);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= cfg.trials {
+                    break;
+                }
+                let seed = cfg.base_seed + t;
+                let net = build(seed);
+                let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();
+                rows.lock()[t as usize] = rates;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    rows.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muerp_core::model::NetworkSpec;
+
+    fn quick_cfg() -> TrialConfig {
+        TrialConfig {
+            trials: 4,
+            base_seed: 100,
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = NetworkSpec::paper_default();
+        let algos = [AlgoKind::Alg3, AlgoKind::Alg4];
+        let a = mean_rates(|s| spec.build(s), &algos, quick_cfg());
+        let b = mean_rates(|s| spec.build(s), &algos, quick_cfg());
+        assert_eq!(a, b, "parallel execution must not change results");
+    }
+
+    #[test]
+    fn means_are_probabilities() {
+        let spec = NetworkSpec::paper_default();
+        let rates = mean_rates(|s| spec.build(s), &AlgoKind::ALL, quick_cfg());
+        assert_eq!(rates.len(), 5);
+        for (a, r) in AlgoKind::ALL.iter().zip(&rates) {
+            assert!((0.0..=1.0).contains(r), "{}: {r}", a.name());
+        }
+    }
+
+    #[test]
+    fn single_trial_matches_direct_call() {
+        let spec = NetworkSpec::paper_default();
+        let cfg = TrialConfig {
+            trials: 1,
+            base_seed: 42,
+        };
+        let means = mean_rates(|s| spec.build(s), &[AlgoKind::Alg3], cfg);
+        let net = spec.build(42);
+        let direct = AlgoKind::Alg3.rate_on(&net, 42);
+        assert!((means[0] - direct).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,128 @@
+//! The five-algorithm suite every figure sweeps.
+
+use muerp_core::prelude::*;
+
+/// The algorithms compared in every panel of §V, in the paper's legend
+/// order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// Algorithm 2 — run on a capacity-granted copy (`Q = 2·|U|`),
+    /// matching the paper's protocol; serves as the (near-)unconstrained
+    /// reference.
+    Alg2,
+    /// Algorithm 3 — conflict-free heuristic on the real capacities.
+    Alg3,
+    /// Algorithm 4 — Prim-based heuristic; the seed user is randomized
+    /// per trial as in the paper.
+    Alg4,
+    /// N-FUSION baseline.
+    NFusion,
+    /// E-Q-CAST baseline.
+    EQCast,
+}
+
+impl AlgoKind {
+    /// The paper's standard suite, in legend order.
+    pub const ALL: [AlgoKind; 5] = [
+        AlgoKind::Alg2,
+        AlgoKind::Alg3,
+        AlgoKind::Alg4,
+        AlgoKind::NFusion,
+        AlgoKind::EQCast,
+    ];
+
+    /// Legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Alg2 => "Alg-2",
+            AlgoKind::Alg3 => "Alg-3",
+            AlgoKind::Alg4 => "Alg-4",
+            AlgoKind::NFusion => "N-Fusion",
+            AlgoKind::EQCast => "E-Q-CAST",
+        }
+    }
+
+    /// Runs the algorithm on `net` for the given trial, returning the
+    /// entanglement rate (0 when infeasible, per §V-A).
+    ///
+    /// Solutions are validated before their rate is accepted; an invalid
+    /// solution is a bug, so this panics rather than skewing results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an algorithm emits a structurally invalid solution.
+    pub fn rate_on(self, net: &QuantumNetwork, trial_seed: u64) -> f64 {
+        let outcome = match self {
+            AlgoKind::Alg2 => {
+                let granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
+                OptimalSufficient
+                    .solve(&granted)
+                    .map(|sol| {
+                        validate_solution(&granted, &sol)
+                            .unwrap_or_else(|e| panic!("Alg-2 invalid solution: {e}"));
+                        sol.rate
+                    })
+            }
+            AlgoKind::Alg3 => ConflictFree::default().solve(net).map(|sol| {
+                validate_solution(net, &sol)
+                    .unwrap_or_else(|e| panic!("Alg-3 invalid solution: {e}"));
+                sol.rate
+            }),
+            AlgoKind::Alg4 => PrimBased::with_seed(trial_seed).solve(net).map(|sol| {
+                validate_solution(net, &sol)
+                    .unwrap_or_else(|e| panic!("Alg-4 invalid solution: {e}"));
+                sol.rate
+            }),
+            AlgoKind::NFusion => NFusion::default().solve(net).map(|sol| {
+                validate_solution(net, &sol)
+                    .unwrap_or_else(|e| panic!("N-Fusion invalid solution: {e}"));
+                sol.rate
+            }),
+            AlgoKind::EQCast => EQCast.solve(net).map(|sol| {
+                validate_solution(net, &sol)
+                    .unwrap_or_else(|e| panic!("E-Q-CAST invalid solution: {e}"));
+                sol.rate
+            }),
+        };
+        outcome.map_or(0.0, |r| r.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_order_matches_legend() {
+        let names: Vec<_> = AlgoKind::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Alg-2", "Alg-3", "Alg-4", "N-Fusion", "E-Q-CAST"]
+        );
+    }
+
+    #[test]
+    fn all_algorithms_run_on_the_default_network() {
+        let net = NetworkSpec::paper_default().build(0);
+        for algo in AlgoKind::ALL {
+            let rate = algo.rate_on(&net, 0);
+            assert!((0.0..=1.0).contains(&rate), "{}: {rate}", algo.name());
+        }
+    }
+
+    #[test]
+    fn alg2_rate_dominates_heuristics() {
+        // On the granted network Alg-2 upper-bounds the tree heuristics.
+        for seed in 0..5 {
+            let net = NetworkSpec::paper_default().build(seed);
+            let a2 = AlgoKind::Alg2.rate_on(&net, seed);
+            for algo in [AlgoKind::Alg3, AlgoKind::Alg4] {
+                assert!(
+                    algo.rate_on(&net, seed) <= a2 * (1.0 + 1e-9),
+                    "seed {seed}: {} beat Alg-2",
+                    algo.name()
+                );
+            }
+        }
+    }
+}

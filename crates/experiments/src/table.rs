@@ -1,0 +1,123 @@
+//! Result tables: the textual equivalent of the paper's figure panels.
+
+use std::fmt::Write as _;
+
+/// One figure's results: rows are x-axis values, columns are algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureTable {
+    /// Short id (`"fig5"`, `"fig6a"`, …) used for file names.
+    pub id: &'static str,
+    /// Human title, e.g. `"Entanglement rate vs. network topology"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Column (algorithm) names.
+    pub algos: Vec<&'static str>,
+    /// `(x value, per-algorithm mean rate)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Renders an aligned text table (rates in scientific notation, `0`
+    /// for infeasible cells).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let x_width = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col = 12usize;
+        let _ = write!(out, "{:<x_width$}", self.x_label);
+        for a in &self.algos {
+            let _ = write!(out, "  {a:>col$}");
+        }
+        out.push('\n');
+        for (x, rates) in &self.rows {
+            let _ = write!(out, "{x:<x_width$}");
+            for r in rates {
+                if *r == 0.0 {
+                    let _ = write!(out, "  {:>col$}", "0");
+                } else {
+                    let _ = write!(out, "  {:>col$.3e}", r);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (header row, then one row per x value).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for a in &self.algos {
+            let _ = write!(out, ",{a}");
+        }
+        out.push('\n');
+        for (x, rates) in &self.rows {
+            let _ = write!(out, "{x}");
+            for r in rates {
+                let _ = write!(out, ",{r:e}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Returns the mean rate for `(x value, algorithm name)`, if present.
+    pub fn cell(&self, x: &str, algo: &str) -> Option<f64> {
+        let col = self.algos.iter().position(|a| *a == algo)?;
+        let (_, rates) = self.rows.iter().find(|(label, _)| label == x)?;
+        rates.get(col).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        FigureTable {
+            id: "figX",
+            title: "test".into(),
+            x_label: "x",
+            algos: vec!["A", "B"],
+            rows: vec![
+                ("1".into(), vec![0.5, 0.0]),
+                ("2".into(), vec![1e-4, 2e-3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_render_contains_all_cells() {
+        let t = sample().render_text();
+        assert!(t.contains("figX"));
+        assert!(t.contains("5.000e-1"));
+        assert!(t.contains('0'));
+        assert!(t.contains("2.000e-3"));
+    }
+
+    #[test]
+    fn csv_roundtrips_row_count() {
+        let csv = sample().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,A,B");
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("1", "A"), Some(0.5));
+        assert_eq!(t.cell("2", "B"), Some(2e-3));
+        assert_eq!(t.cell("3", "A"), None);
+        assert_eq!(t.cell("1", "Z"), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Betweenness centrality (Brandes' algorithm, weighted).
+//!
+//! The paper's Fig. 7(b) discussion attributes performance collapse to a
+//! few "critical" *edges*; the node-side counterpart — which switches sit
+//! on most cheapest channels — predicts where qubit capacity runs out
+//! first. [`betweenness`] implements Brandes' exact algorithm over
+//! non-negative edge weights (Dijkstra-based), counting shortest-path
+//! multiplicities.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeRef, Graph, NodeId};
+
+#[derive(PartialEq)]
+struct Entry {
+    dist: f64,
+    node: NodeId,
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are not NaN")
+            .then_with(|| self.node.index().cmp(&other.node.index()))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact betweenness centrality of every node under the given edge
+/// weight (non-negative), normalized by the number of ordered pairs
+/// `(n−1)(n−2)` so values lie in `[0, 1]` for simple graphs.
+///
+/// Endpoints do not count toward their own paths (standard convention).
+///
+/// # Panics
+///
+/// Panics if `weight` yields a negative or NaN value.
+pub fn betweenness<N, E, F>(g: &Graph<N, E>, weight: F) -> Vec<f64>
+where
+    F: Fn(EdgeRef<'_, E>) -> f64,
+{
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
+    if n < 3 {
+        return centrality;
+    }
+
+    for s in g.node_ids() {
+        // Dijkstra with shortest-path counting.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut sigma = vec![0.0f64; n]; // number of shortest paths
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n); // settle order
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[s.index()] = 0.0;
+        sigma[s.index()] = 1.0;
+        heap.push(Entry { dist: 0.0, node: s });
+
+        while let Some(Entry { dist: d, node: v }) = heap.pop() {
+            if settled[v.index()] {
+                continue;
+            }
+            settled[v.index()] = true;
+            order.push(v);
+            for (u, eid) in g.neighbors(v) {
+                let w = weight(g.edge(eid));
+                assert!(w >= 0.0 && !w.is_nan(), "weights must be non-negative");
+                let nd = d + w;
+                let rel = nd - dist[u.index()];
+                if rel < -1e-12 {
+                    dist[u.index()] = nd;
+                    sigma[u.index()] = sigma[v.index()];
+                    preds[u.index()].clear();
+                    preds[u.index()].push(v);
+                    heap.push(Entry { dist: nd, node: u });
+                } else if rel.abs() <= 1e-12 && !settled[u.index()] {
+                    // Another shortest path through v.
+                    sigma[u.index()] += sigma[v.index()];
+                    preds[u.index()].push(v);
+                } else if rel < 0.0 {
+                    // Strictly better within tolerance handling above.
+                    dist[u.index()] = nd;
+                    sigma[u.index()] = sigma[v.index()];
+                    preds[u.index()].clear();
+                    preds[u.index()].push(v);
+                    heap.push(Entry { dist: nd, node: u });
+                }
+            }
+        }
+
+        // Accumulation (reverse settle order).
+        let mut delta = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            for &p in &preds[v.index()] {
+                let share = sigma[p.index()] / sigma[v.index()] * (1.0 + delta[v.index()]);
+                delta[p.index()] += share;
+            }
+            if v != s {
+                centrality[v.index()] += delta[v.index()];
+            }
+        }
+    }
+
+    let norm = ((n - 1) * (n - 2)) as f64;
+    for c in &mut centrality {
+        *c /= norm;
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(e: EdgeRef<'_, f64>) -> f64 {
+        *e.payload
+    }
+
+    #[test]
+    fn path_graph_center_dominates() {
+        // 0 - 1 - 2 - 3 - 4: node 2 lies on the most pairs.
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for pair in ids.windows(2) {
+            g.add_edge(pair[0], pair[1], 1.0);
+        }
+        let c = betweenness(&g, w);
+        assert!(c[2] > c[1]);
+        assert!(c[1] > c[0]);
+        assert_eq!(c[0], 0.0);
+        assert!((c[1] - c[3]).abs() < 1e-12, "symmetry");
+        // Node 2 carries pairs (0,3),(0,4),(1,3),(1,4) in both directions:
+        // 8 ordered pairs / (4·3) = 2/3.
+        assert!((c[2] - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_hub_has_maximal_centrality() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let hub = g.add_node(());
+        for _ in 0..4 {
+            let leaf = g.add_node(());
+            g.add_edge(hub, leaf, 1.0);
+        }
+        let c = betweenness(&g, w);
+        assert!((c[hub.index()] - 1.0).abs() < 1e-12, "hub carries all pairs");
+        for leaf in 1..5 {
+            assert_eq!(c[leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        for i in 0..6 {
+            g.add_edge(ids[i], ids[(i + 1) % 6], 1.0);
+        }
+        let c = betweenness(&g, w);
+        for v in &c {
+            assert!((v - c[0]).abs() < 1e-9, "cycle symmetry: {c:?}");
+        }
+        assert!(c[0] > 0.0);
+    }
+
+    #[test]
+    fn weights_redirect_centrality() {
+        // Square 0-1-2-3-0; heavy edges 1-2 and 2-3 push all traffic the
+        // other way around, zeroing node 2's centrality.
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], 1.0);
+        g.add_edge(ids[1], ids[2], 10.0);
+        g.add_edge(ids[2], ids[3], 10.0);
+        g.add_edge(ids[3], ids[0], 1.0);
+        let c = betweenness(&g, w);
+        // 1↔3 routes via 0 (cost 2 vs 20); 0↔2 splits evenly over 1 and
+        // 3 (cost 11 both ways); nothing routes through 2.
+        assert_eq!(c[2], 0.0);
+        assert!((c[0] - 2.0 / 6.0).abs() < 1e-12, "{c:?}");
+        assert!((c[1] - 1.0 / 6.0).abs() < 1e-12, "{c:?}");
+        assert!((c[3] - 1.0 / 6.0).abs() < 1e-12, "{c:?}");
+    }
+
+    #[test]
+    fn shortest_path_multiplicities_are_split() {
+        // Two equal-length routes 0→3 via 1 or 2: each carries half.
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], 1.0);
+        g.add_edge(ids[1], ids[3], 1.0);
+        g.add_edge(ids[0], ids[2], 1.0);
+        g.add_edge(ids[2], ids[3], 1.0);
+        let c = betweenness(&g, w);
+        assert!((c[1] - c[2]).abs() < 1e-12);
+        // Each middle node carries ½ of the 2 ordered pairs (0,3),(3,0)
+        // → 1.0 / ((n−1)(n−2)) = 1/6.
+        assert!((c[1] - 1.0 / 6.0).abs() < 1e-12, "{c:?}");
+    }
+
+    #[test]
+    fn tiny_graphs_are_zero() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        assert_eq!(betweenness(&g, w), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Degree-constrained spanning trees (DCST / DCMST).
+//!
+//! The paper's hardness results (Theorems 1 and 2) reduce from the
+//! degree-constrained spanning tree problem (feasibility, NP-complete) and
+//! the degree-constrained *minimum* spanning tree problem (optimization,
+//! NP-hard). This module provides:
+//!
+//! * [`degree_constrained_kruskal`]: the natural greedy heuristic that
+//!   mirrors how MUERP's capacity constraint interacts with Kruskal-style
+//!   selection;
+//! * [`exact_dcmst`]: exhaustive search over all spanning trees (Prüfer
+//!   enumeration on ≤ 9 nodes), used by tests to certify the heuristic is
+//!   *not* always optimal — an empirical witness of the NP-hardness that
+//!   motivates the paper's heuristics.
+
+use crate::graph::{EdgeId, EdgeRef, Graph};
+use crate::mst::SpanningTree;
+use crate::unionfind::UnionFind;
+
+/// Greedy Kruskal that skips any edge whose inclusion would push an
+/// endpoint above `max_degree`.
+///
+/// Returns a spanning tree respecting the degree bound when the greedy
+/// order happens to find one; like all polynomial heuristics for this
+/// NP-complete problem it may return a partial forest even when a
+/// degree-bounded spanning tree exists.
+pub fn degree_constrained_kruskal<N, E, F>(
+    g: &Graph<N, E>,
+    max_degree: usize,
+    weight: F,
+) -> SpanningTree
+where
+    F: Fn(EdgeRef<'_, E>) -> f64,
+{
+    let mut order: Vec<(f64, EdgeId)> = g.edge_refs().map(|e| (weight(e), e.id)).collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("weights are not NaN"));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut deg = vec![0usize; g.node_count()];
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    for (w, eid) in order {
+        let (a, b) = g.endpoints(eid);
+        if deg[a.index()] >= max_degree || deg[b.index()] >= max_degree {
+            continue;
+        }
+        if uf.union_nodes(a, b) {
+            deg[a.index()] += 1;
+            deg[b.index()] += 1;
+            edges.push(eid);
+            total_weight += w;
+        }
+    }
+    SpanningTree {
+        edges,
+        total_weight,
+    }
+}
+
+/// Exhaustive minimum degree-constrained spanning tree via Prüfer-sequence
+/// enumeration of all labeled trees on `n` nodes, filtered to trees whose
+/// edges exist in `g` and whose degrees respect `max_degree`.
+///
+/// Returns `None` when no degree-bounded spanning tree exists.
+///
+/// # Panics
+///
+/// Panics when `g.node_count() > 9` (the enumeration is `n^(n-2)`; nine
+/// nodes is 4.8M trees, the sensible ceiling for a test oracle).
+pub fn exact_dcmst<N, E, F>(g: &Graph<N, E>, max_degree: usize, weight: F) -> Option<SpanningTree>
+where
+    F: Fn(EdgeRef<'_, E>) -> f64,
+{
+    let n = g.node_count();
+    assert!(n <= 9, "exact_dcmst is an oracle for ≤ 9 nodes, got {n}");
+    if n == 0 {
+        return Some(SpanningTree {
+            edges: Vec::new(),
+            total_weight: 0.0,
+        });
+    }
+    if n == 1 {
+        return Some(SpanningTree {
+            edges: Vec::new(),
+            total_weight: 0.0,
+        });
+    }
+
+    // Cheapest edge between each unordered node pair (parallel-edge aware).
+    let mut best_edge = vec![vec![None::<(f64, EdgeId)>; n]; n];
+    for e in g.edge_refs() {
+        let w = weight(e);
+        let (i, j) = (e.a.index(), e.b.index());
+        let slot = &mut best_edge[i.min(j)][i.max(j)];
+        if slot.map_or(true, |(bw, _)| w < bw) {
+            *slot = Some((w, e.id));
+        }
+    }
+
+    let mut best: Option<SpanningTree> = None;
+    let seq_len = n - 2;
+    let mut prufer = vec![0usize; seq_len];
+    loop {
+        if let Some(t) = tree_from_prufer(&prufer, n, max_degree, &best_edge) {
+            if best.as_ref().map_or(true, |b| t.total_weight < b.total_weight) {
+                best = Some(t);
+            }
+        }
+        // Next sequence in base-n counting order.
+        let mut i = 0;
+        loop {
+            if i == seq_len {
+                return best;
+            }
+            prufer[i] += 1;
+            if prufer[i] < n {
+                break;
+            }
+            prufer[i] = 0;
+            i += 1;
+        }
+        if seq_len == 0 {
+            // n == 2: a single (empty) Prüfer sequence.
+            return best;
+        }
+    }
+}
+
+/// Decodes one Prüfer sequence into a tree, returning it only when every
+/// tree edge exists in the graph and the degree bound holds.
+fn tree_from_prufer(
+    prufer: &[usize],
+    n: usize,
+    max_degree: usize,
+    best_edge: &[Vec<Option<(f64, EdgeId)>>],
+) -> Option<SpanningTree> {
+    let mut degree = vec![1usize; n];
+    for &p in prufer {
+        degree[p] += 1;
+    }
+    if degree.iter().any(|&d| d > max_degree) {
+        return None;
+    }
+
+    let mut deg = degree.clone();
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut total_weight = 0.0;
+    let add = |a: usize, b: usize, edges: &mut Vec<EdgeId>, total: &mut f64| -> bool {
+        match best_edge[a.min(b)][a.max(b)] {
+            Some((w, eid)) => {
+                edges.push(eid);
+                *total += w;
+                true
+            }
+            None => false,
+        }
+    };
+
+    // Standard O(n^2) decode — fine for n ≤ 9.
+    let mut used = vec![false; n];
+    for &p in prufer {
+        let leaf = (0..n).find(|&v| !used[v] && deg[v] == 1).expect("valid Prüfer");
+        used[leaf] = true;
+        deg[leaf] -= 1;
+        deg[p] -= 1;
+        if !add(leaf, p, &mut edges, &mut total_weight) {
+            return None;
+        }
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&v| !used[v] && deg[v] == 1).collect();
+    debug_assert_eq!(remaining.len(), 2);
+    if !add(remaining[0], remaining[1], &mut edges, &mut total_weight) {
+        return None;
+    }
+    Some(SpanningTree {
+        edges,
+        total_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::kruskal;
+
+    fn weight(e: EdgeRef<'_, f64>) -> f64 {
+        *e.payload
+    }
+
+    /// Star K_{1,4} plus an expensive outer cycle: with degree bound 2 the
+    /// star center cannot serve everyone.
+    fn star_with_ring() -> Graph<(), f64> {
+        let mut g = Graph::new();
+        let hub = g.add_node(());
+        let leaves: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for &l in &leaves {
+            g.add_edge(hub, l, 1.0);
+        }
+        for w in leaves.windows(2) {
+            g.add_edge(w[0], w[1], 10.0);
+        }
+        g
+    }
+
+    #[test]
+    fn unbounded_degree_reduces_to_mst() {
+        let g = star_with_ring();
+        let dc = degree_constrained_kruskal(&g, usize::MAX, weight);
+        let mst = kruskal(&g, weight);
+        assert_eq!(dc.total_weight, mst.total_weight);
+        assert!(dc.spans(g.node_count()));
+    }
+
+    #[test]
+    fn degree_bound_forces_expensive_edges() {
+        let g = star_with_ring();
+        let dc = degree_constrained_kruskal(&g, 2, weight);
+        assert!(dc.spans(g.node_count()), "greedy succeeds here");
+        // Hub degree ≤ 2 means at least two ring edges are needed.
+        assert!(dc.total_weight >= 2.0 + 2.0 * 10.0 - 1.0);
+        let exact = exact_dcmst(&g, 2, weight).unwrap();
+        assert!(exact.total_weight <= dc.total_weight);
+        assert_eq!(exact.total_weight, 22.0, "2 hub edges + 2 ring edges");
+    }
+
+    #[test]
+    fn infeasible_degree_bound() {
+        // A pure star with bound 1 cannot be spanned (hub needs degree 4).
+        let mut g: Graph<(), f64> = Graph::new();
+        let hub = g.add_node(());
+        for _ in 0..4 {
+            let l = g.add_node(());
+            g.add_edge(hub, l, 1.0);
+        }
+        assert!(exact_dcmst(&g, 1, weight).is_none());
+        let greedy = degree_constrained_kruskal(&g, 1, weight);
+        assert!(!greedy.spans(g.node_count()));
+    }
+
+    #[test]
+    fn exact_matches_mst_when_unconstrained() {
+        let g = star_with_ring();
+        let exact = exact_dcmst(&g, g.node_count(), weight).unwrap();
+        let mst = kruskal(&g, weight);
+        assert!((exact.total_weight - mst.total_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_handles_two_nodes() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 7.0);
+        let t = exact_dcmst(&g, 1, weight).unwrap();
+        assert_eq!(t.total_weight, 7.0);
+        assert_eq!(t.edges.len(), 1);
+    }
+
+    #[test]
+    fn exact_respects_missing_edges() {
+        // Path graph: the only spanning tree is the path itself.
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0);
+        }
+        let t = exact_dcmst(&g, 2, weight).unwrap();
+        assert_eq!(t.edges.len(), 3);
+        assert_eq!(t.total_weight, 3.0);
+        assert!(exact_dcmst(&g, 1, weight).is_none(), "path needs degree 2");
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_on_adversarial_instance() {
+        // Greedy picks the two cheap hub edges first and is then forced
+        // into expensive repairs; the exact answer avoids one of them.
+        // Greedy takes h-a then h-b, saturating h; node c is then only
+        // reachable over the 100-weight edge. The optimum takes h-c early
+        // and routes b through a instead: {h-a, h-c, a-b} = 3.5.
+        let mut g: Graph<(), f64> = Graph::new();
+        let h = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(h, a, 1.0);
+        g.add_edge(h, b, 1.1);
+        g.add_edge(h, c, 1.2);
+        g.add_edge(a, b, 1.3);
+        g.add_edge(a, c, 100.0);
+        let greedy = degree_constrained_kruskal(&g, 2, weight);
+        let exact = exact_dcmst(&g, 2, weight).unwrap();
+        assert!(greedy.spans(4));
+        assert!((greedy.total_weight - 102.1).abs() < 1e-9);
+        assert!((exact.total_weight - 3.5).abs() < 1e-9);
+        assert!(
+            exact.total_weight < greedy.total_weight,
+            "exact {} must beat greedy {}",
+            exact.total_weight,
+            greedy.total_weight
+        );
+    }
+}

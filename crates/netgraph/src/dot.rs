@@ -1,0 +1,163 @@
+//! Graphviz DOT export.
+//!
+//! Renders a [`Graph`] as an undirected DOT document with caller-supplied
+//! label closures — used by the examples to visualize routed entanglement
+//! trees over the network (`dot -Tsvg`), and handy when debugging
+//! topology generators.
+
+use core::fmt::Write as _;
+
+use crate::graph::{EdgeRef, Graph, NodeId};
+
+/// Options controlling the DOT rendering.
+pub struct DotOptions<'a, N, E> {
+    /// Graph name in the DOT header.
+    pub name: &'a str,
+    /// Label for each node (empty string for no label).
+    pub node_label: Box<dyn Fn(NodeId, &N) -> String + 'a>,
+    /// Optional extra attributes per node, e.g. `color=red` (no braces).
+    pub node_attrs: Box<dyn Fn(NodeId, &N) -> String + 'a>,
+    /// Label for each edge.
+    pub edge_label: Box<dyn Fn(EdgeRef<'_, E>) -> String + 'a>,
+    /// Optional extra attributes per edge.
+    pub edge_attrs: Box<dyn Fn(EdgeRef<'_, E>) -> String + 'a>,
+}
+
+impl<N, E> Default for DotOptions<'_, N, E> {
+    fn default() -> Self {
+        DotOptions {
+            name: "g",
+            node_label: Box::new(|n, _| n.to_string()),
+            node_attrs: Box::new(|_, _| String::new()),
+            edge_label: Box::new(|_| String::new()),
+            edge_attrs: Box::new(|_| String::new()),
+        }
+    }
+}
+
+/// Renders the graph as a DOT `graph` document.
+///
+/// # Example
+///
+/// ```
+/// use qnet_graph::Graph;
+/// use qnet_graph::dot::{to_dot, DotOptions};
+///
+/// let mut g: Graph<&str, f64> = Graph::new();
+/// let a = g.add_node("alice");
+/// let b = g.add_node("bob");
+/// g.add_edge(a, b, 2.5);
+/// let dot = to_dot(&g, &DotOptions {
+///     node_label: Box::new(|_, name| name.to_string()),
+///     edge_label: Box::new(|e| format!("{:.1}", e.payload)),
+///     ..DotOptions::default()
+/// });
+/// assert!(dot.contains("n0 -- n1"));
+/// assert!(dot.contains("alice"));
+/// ```
+pub fn to_dot<N, E>(g: &Graph<N, E>, options: &DotOptions<'_, N, E>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(options.name));
+    for v in g.node_ids() {
+        let label = escape((options.node_label)(v, g.node(v)));
+        let attrs = (options.node_attrs)(v, g.node(v));
+        let sep = if attrs.is_empty() { "" } else { ", " };
+        let _ = writeln!(out, "  {v} [label=\"{label}\"{sep}{attrs}];");
+    }
+    for e in g.edge_refs() {
+        let label = escape((options.edge_label)(e));
+        let attrs = (options.edge_attrs)(e);
+        let mut parts = Vec::new();
+        if !label.is_empty() {
+            parts.push(format!("label=\"{label}\""));
+        }
+        if !attrs.is_empty() {
+            parts.push(attrs);
+        }
+        if parts.is_empty() {
+            let _ = writeln!(out, "  {} -- {};", e.a, e.b);
+        } else {
+            let _ = writeln!(out, "  {} -- {} [{}];", e.a, e.b, parts.join(", "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: String) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph<&'static str, f64> {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 1.5);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("n0 [label=\"n0\"];"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn custom_labels_and_attrs() {
+        let g = sample();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "my graph!",
+                node_label: Box::new(|_, n| n.to_string()),
+                node_attrs: Box::new(|_, _| "shape=box".into()),
+                edge_label: Box::new(|e| format!("{}", e.payload)),
+                edge_attrs: Box::new(|_| "color=red".into()),
+            },
+        );
+        assert!(dot.contains("graph my_graph_ {"));
+        assert!(dot.contains("label=\"a\", shape=box"));
+        assert!(dot.contains("n0 -- n1 [label=\"1.5\", color=red];"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g: Graph<&str, f64> = Graph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                node_label: Box::new(|_, n| n.to_string()),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert_eq!(dot, "graph g {\n}\n");
+    }
+}

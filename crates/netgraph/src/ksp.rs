@@ -1,0 +1,268 @@
+//! Yen's algorithm: the k cheapest loopless paths between two vertices.
+//!
+//! Used by the MUERP local-search extension to enumerate *alternative*
+//! quantum channels for a user pair — the capacity-aware tree improvement
+//! needs more than the single best channel Algorithm 1 yields.
+//!
+//! The implementation honors the same vertex semantics as
+//! [`crate::dijkstra`]: a `can_relay` filter restricts which vertices may
+//! appear in a path's *interior*, so the k-best channels all remain valid
+//! MUERP channels.
+
+use std::collections::HashSet;
+
+use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
+use crate::paths::{dijkstra, DijkstraConfig, Path};
+
+/// The `k` cheapest loopless paths from `source` to `target` under the
+/// given cost and relay filter, sorted by cost ascending.
+///
+/// Fewer than `k` paths are returned when the graph does not contain
+/// that many distinct admissible simple paths. `k = 0` returns an empty
+/// vector.
+///
+/// # Panics
+///
+/// Panics if `edge_cost` produces negative or NaN values (inherited from
+/// [`dijkstra`]).
+pub fn k_shortest_paths<N, E, FC, FR>(
+    g: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    config: &DijkstraConfig<FC, FR>,
+) -> Vec<Path>
+where
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    if k == 0 || source == target {
+        return Vec::new();
+    }
+    let mut accepted: Vec<Path> = Vec::with_capacity(k);
+    let mut candidates: Vec<Path> = Vec::new();
+
+    let Some(first) = dijkstra(g, source, config).path_to(target) else {
+        return Vec::new();
+    };
+    accepted.push(first);
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least one accepted path");
+
+        // Spur from every prefix position of the previous path.
+        for spur_idx in 0..prev.nodes.len() - 1 {
+            let spur_node = prev.nodes[spur_idx];
+            let root_nodes = &prev.nodes[..=spur_idx];
+            let root_edges = &prev.edges[..spur_idx];
+
+            // The spur node must be admissible at its position in the
+            // final path: as source (spur_idx == 0) it always is; as an
+            // interior vertex it must pass the relay filter.
+            if spur_idx > 0 && !(config.can_relay)(spur_node) {
+                continue;
+            }
+
+            // Ban: edges leaving the spur node on any accepted/candidate
+            // path sharing this root, and all root nodes except the spur
+            // (to keep the final path simple).
+            // Root comparison uses the *edge* sequence: with parallel
+            // edges two distinct roots share the same node prefix, and
+            // banning across them loses paths.
+            let mut banned_edges: HashSet<EdgeId> = HashSet::new();
+            for p in accepted.iter().chain(candidates.iter()) {
+                if p.edges.len() > spur_idx && p.edges[..spur_idx] == *root_edges {
+                    banned_edges.insert(p.edges[spur_idx]);
+                }
+            }
+            let banned_nodes: HashSet<NodeId> =
+                root_nodes[..spur_idx].iter().copied().collect();
+
+            let spur_cfg = DijkstraConfig {
+                edge_cost: |e: EdgeRef<'_, E>| {
+                    if banned_edges.contains(&e.id)
+                        || banned_nodes.contains(&e.a)
+                        || banned_nodes.contains(&e.b)
+                    {
+                        f64::INFINITY
+                    } else {
+                        (config.edge_cost)(e)
+                    }
+                },
+                can_relay: |n: NodeId| !banned_nodes.contains(&n) && (config.can_relay)(n),
+            };
+            let Some(spur_path) = dijkstra(g, spur_node, &spur_cfg).path_to(target) else {
+                continue;
+            };
+
+            // Stitch root + spur.
+            let mut nodes = root_nodes.to_vec();
+            nodes.extend_from_slice(&spur_path.nodes[1..]);
+            let mut edges = root_edges.to_vec();
+            edges.extend_from_slice(&spur_path.edges);
+            let cost: f64 = edges.iter().map(|&e| (config.edge_cost)(g.edge(e))).sum();
+            let candidate = Path { nodes, edges, cost };
+
+            // Deduplicate (same edge sequence).
+            let duplicate = accepted
+                .iter()
+                .chain(candidates.iter())
+                .any(|p| p.edges == candidate.edges);
+            if !duplicate {
+                candidates.push(candidate);
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the cheapest candidate.
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.cost
+                    .partial_cmp(&b.1.cost)
+                    .expect("costs are not NaN")
+                    .then_with(|| a.1.edges.cmp(&b.1.edges))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        accepted.push(candidates.swap_remove(best_idx));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(e: EdgeRef<'_, f64>) -> f64 {
+        *e.payload
+    }
+
+    /// Classic Yen example shape: multiple routes of distinct costs.
+    ///   0 -1- 1 -1- 3
+    ///   0 -2- 2 -1- 3
+    ///   1 -1- 2,  0 -5- 3
+    fn diamond() -> (Graph<(), f64>, [NodeId; 4]) {
+        let mut g = Graph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 1.0);
+        g.add_edge(n[1], n[3], 1.0);
+        g.add_edge(n[0], n[2], 2.0);
+        g.add_edge(n[2], n[3], 1.0);
+        g.add_edge(n[1], n[2], 1.0);
+        g.add_edge(n[0], n[3], 5.0);
+        (g, [n[0], n[1], n[2], n[3]])
+    }
+
+    #[test]
+    fn finds_paths_in_cost_order() {
+        let (g, [s, _, _, t]) = diamond();
+        let paths = k_shortest_paths(&g, s, t, 10, &DijkstraConfig::all_nodes(cost));
+        assert!(paths.len() >= 4);
+        for w in paths.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-12);
+        }
+        assert_eq!(paths[0].cost, 2.0); // 0-1-3
+        assert_eq!(paths[1].cost, 3.0); // 0-2-3 or 0-1-2-3
+    }
+
+    #[test]
+    fn paths_are_simple_and_distinct() {
+        let (g, [s, _, _, t]) = diamond();
+        let paths = k_shortest_paths(&g, s, t, 10, &DijkstraConfig::all_nodes(cost));
+        let mut seen = HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.edges.clone()), "duplicate path");
+            let mut nodes = p.nodes.clone();
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.nodes.len(), "loopy path");
+            assert_eq!(p.source(), s);
+            assert_eq!(p.destination(), t);
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_enumeration() {
+        let (g, [s, _, _, t]) = diamond();
+        // Brute force: all simple paths s→t.
+        fn all_paths(
+            g: &Graph<(), f64>,
+            cur: NodeId,
+            t: NodeId,
+            visited: &mut Vec<NodeId>,
+            edges: &mut Vec<EdgeId>,
+            out: &mut Vec<(f64, Vec<EdgeId>)>,
+        ) {
+            if cur == t {
+                let c = edges.iter().map(|&e| *g.edge(e).payload).sum();
+                out.push((c, edges.clone()));
+                return;
+            }
+            for (next, eid) in g.neighbors(cur) {
+                if !visited.contains(&next) {
+                    visited.push(next);
+                    edges.push(eid);
+                    all_paths(g, next, t, visited, edges, out);
+                    edges.pop();
+                    visited.pop();
+                }
+            }
+        }
+        let mut brute = Vec::new();
+        all_paths(&g, s, t, &mut vec![s], &mut Vec::new(), &mut brute);
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let yen = k_shortest_paths(&g, s, t, brute.len() + 5, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(yen.len(), brute.len(), "yen must find every simple path");
+        for (p, (c, _)) in yen.iter().zip(&brute) {
+            assert!((p.cost - c).abs() < 1e-12, "cost sequence must match");
+        }
+    }
+
+    #[test]
+    fn respects_relay_filter() {
+        let (g, [s, n1, _, t]) = diamond();
+        let cfg = DijkstraConfig {
+            edge_cost: cost,
+            can_relay: |n: NodeId| n != n1,
+        };
+        let paths = k_shortest_paths(&g, s, t, 10, &cfg);
+        for p in &paths {
+            assert!(!p.interior().contains(&n1), "forbidden interior {p:?}");
+        }
+        // Direct 0-3 and 0-2-3 remain.
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_and_same_endpoints() {
+        let (g, [s, _, _, t]) = diamond();
+        assert!(k_shortest_paths(&g, s, t, 0, &DijkstraConfig::all_nodes(cost)).is_empty());
+        assert!(k_shortest_paths(&g, s, s, 3, &DijkstraConfig::all_nodes(cost)).is_empty());
+    }
+
+    #[test]
+    fn disconnected_yields_empty() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(k_shortest_paths(&g, a, b, 3, &DijkstraConfig::all_nodes(cost)).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct_paths() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 2.0);
+        let paths = k_shortest_paths(&g, a, b, 5, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].cost, 1.0);
+        assert_eq!(paths[1].cost, 2.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum spanning trees: Kruskal and Prim.
+//!
+//! These classic algorithms serve two roles in the reproduction:
+//!
+//! 1. They are the structural skeletons of the paper's Algorithm 2
+//!    (Kruskal-style channel selection) and Algorithm 4 (Prim-style tree
+//!    growth) — the paper explicitly bases Algorithm 4 "on the principle of
+//!    Prim Algorithm".
+//! 2. They provide the classic-graph reference points of §III-A that MUERP
+//!    is contrasted against.
+
+use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
+use crate::unionfind::UnionFind;
+
+/// A spanning tree (or forest) expressed as a set of chosen edges plus the
+/// total additive weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanningTree {
+    /// Chosen edges.
+    pub edges: Vec<EdgeId>,
+    /// Sum of the chosen edges' weights.
+    pub total_weight: f64,
+}
+
+impl SpanningTree {
+    /// `true` when this tree spans all `n` nodes (has `n − 1` edges).
+    pub fn spans(&self, n: usize) -> bool {
+        n == 0 || self.edges.len() == n - 1
+    }
+}
+
+/// Kruskal's algorithm under an arbitrary edge weight function.
+///
+/// Returns a minimum spanning *forest* when the graph is disconnected: the
+/// edge set then spans each component. Use [`SpanningTree::spans`] to check
+/// for a full tree.
+pub fn kruskal<N, E, F>(g: &Graph<N, E>, weight: F) -> SpanningTree
+where
+    F: Fn(EdgeRef<'_, E>) -> f64,
+{
+    let mut order: Vec<(f64, EdgeId)> = g.edge_refs().map(|e| (weight(e), e.id)).collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("weights are not NaN"));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    for (w, eid) in order {
+        let (a, b) = g.endpoints(eid);
+        if uf.union_nodes(a, b) {
+            edges.push(eid);
+            total_weight += w;
+            if edges.len() + 1 == g.node_count() {
+                break;
+            }
+        }
+    }
+    SpanningTree {
+        edges,
+        total_weight,
+    }
+}
+
+/// Prim's algorithm from a given root under an arbitrary edge weight
+/// function.
+///
+/// Only the root's connected component is spanned; nodes outside it are
+/// ignored.
+pub fn prim<N, E, F>(g: &Graph<N, E>, root: NodeId, weight: F) -> SpanningTree
+where
+    F: Fn(EdgeRef<'_, E>) -> f64,
+{
+    use core::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Entry {
+        w: f64,
+        edge: EdgeId,
+        to: NodeId,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.w == other.w && self.edge == other.edge
+        }
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .w
+                .partial_cmp(&self.w)
+                .expect("weights are not NaN")
+                .then_with(|| self.edge.cmp(&other.edge))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut in_tree = vec![false; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+
+    in_tree[root.index()] = true;
+    for (to, eid) in g.neighbors(root) {
+        heap.push(Entry {
+            w: weight(g.edge(eid)),
+            edge: eid,
+            to,
+        });
+    }
+    while let Some(Entry { w, edge, to }) = heap.pop() {
+        if in_tree[to.index()] {
+            continue;
+        }
+        in_tree[to.index()] = true;
+        edges.push(edge);
+        total_weight += w;
+        for (next, eid) in g.neighbors(to) {
+            if !in_tree[next.index()] {
+                heap.push(Entry {
+                    w: weight(g.edge(eid)),
+                    edge: eid,
+                    to: next,
+                });
+            }
+        }
+    }
+    SpanningTree {
+        edges,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weight(e: EdgeRef<'_, f64>) -> f64 {
+        *e.payload
+    }
+
+    /// Classic 4-node example with a unique MST of weight 1+2+3 = 6.
+    fn square() -> Graph<(), f64> {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], 1.0);
+        g.add_edge(ids[1], ids[2], 2.0);
+        g.add_edge(ids[2], ids[3], 3.0);
+        g.add_edge(ids[3], ids[0], 10.0);
+        g.add_edge(ids[0], ids[2], 10.0);
+        g
+    }
+
+    #[test]
+    fn kruskal_finds_minimum() {
+        let g = square();
+        let t = kruskal(&g, weight);
+        assert!(t.spans(g.node_count()));
+        assert_eq!(t.total_weight, 6.0);
+        assert_eq!(t.edges.len(), 3);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let g = square();
+        for root in g.node_ids() {
+            let t = prim(&g, root, weight);
+            assert!(t.spans(g.node_count()));
+            assert_eq!(t.total_weight, 6.0, "root {root}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        let mut g = square();
+        g.add_node(()); // isolated
+        let t = kruskal(&g, weight);
+        assert!(!t.spans(g.node_count()));
+        assert_eq!(t.edges.len(), 3);
+        let p = prim(&g, NodeId::new(0), weight);
+        assert_eq!(p.edges.len(), 3, "prim spans only the root component");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), f64> = Graph::new();
+        let t = kruskal(&g, weight);
+        assert!(t.edges.is_empty());
+        assert!(t.spans(0));
+    }
+
+    #[test]
+    fn single_node() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let t = prim(&g, a, weight);
+        assert!(t.edges.is_empty());
+        assert!(t.spans(1));
+    }
+
+    #[test]
+    fn prefers_cheap_parallel_edge() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 5.0);
+        let cheap = g.add_edge(a, b, 1.0);
+        assert_eq!(kruskal(&g, weight).edges, vec![cheap]);
+        assert_eq!(prim(&g, a, weight).edges, vec![cheap]);
+    }
+}

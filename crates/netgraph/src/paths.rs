@@ -1,0 +1,402 @@
+//! Single-source shortest paths with pluggable costs and relay filters.
+//!
+//! [`dijkstra`] is the engine behind the paper's **Algorithm 1** (maximum
+//! entanglement-rate channel): after the [`crate::NegLog`] transform the
+//! max-rate channel is the min-cost path, with the twist that only quantum
+//! switches *with at least two free qubits* may appear in the interior of a
+//! channel. That twist is expressed here as the `can_relay` vertex filter:
+//! edges are relaxed out of a vertex only if it is the source or the filter
+//! admits it, so every reported path has all interior vertices admitted
+//! while source and destination are unconstrained.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
+
+/// A simple path through the graph: node sequence, the edges between them,
+/// and the total additive cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    /// Visited nodes from source to destination (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Edges between consecutive nodes (`edges.len() == nodes.len() - 1`).
+    pub edges: Vec<EdgeId>,
+    /// Total additive cost of the path.
+    pub cost: f64,
+}
+
+impl Path {
+    /// Number of edges (the paper's channel *distance* `l`).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` for a zero-edge path (source == destination).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Interior nodes of the path (everything but the two endpoints).
+    pub fn interior(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+
+    /// Source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path has no nodes (never produced by this crate).
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("path has at least one node")
+    }
+
+    /// Destination node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path has no nodes (never produced by this crate).
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path has at least one node")
+    }
+}
+
+/// Configuration of a Dijkstra run: edge costs and the relay filter.
+///
+/// `edge_cost` returns the non-negative additive cost of traversing an
+/// edge; returning `f64::INFINITY` excludes the edge. `can_relay` decides
+/// whether a vertex may appear in the *interior* of a path; the source and
+/// any destination are always allowed regardless of the filter.
+#[derive(Clone, Copy, Debug)]
+pub struct DijkstraConfig<FC, FR> {
+    /// Cost of one edge; `INFINITY` to exclude it.
+    pub edge_cost: FC,
+    /// Whether a vertex may be an interior relay.
+    pub can_relay: FR,
+}
+
+impl<FC> DijkstraConfig<FC, fn(NodeId) -> bool> {
+    /// A configuration where every vertex may relay.
+    pub fn all_nodes(edge_cost: FC) -> Self {
+        fn always(_: NodeId) -> bool {
+            true
+        }
+        DijkstraConfig {
+            edge_cost,
+            can_relay: always,
+        }
+    }
+}
+
+/// The result of a [`dijkstra`] run from one source.
+#[derive(Clone, Debug)]
+pub struct DijkstraRun {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl DijkstraRun {
+    /// The source of the run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost of the cheapest admissible path to `target`, or `None` when
+    /// unreachable.
+    pub fn distance(&self, target: NodeId) -> Option<f64> {
+        let d = self.dist[target.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Reconstructs the cheapest admissible path to `target`, or `None`
+    /// when unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        let cost = self.distance(target)?;
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((p, e)) = self.prev[cur.index()] {
+            nodes.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        nodes.reverse();
+        edges.reverse();
+        Some(Path { nodes, edges, cost })
+    }
+
+    /// Iterates over all reachable targets and their distances.
+    pub fn reachable(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, d)| (NodeId::new(i), *d))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the min cost on top.
+        // Costs are never NaN (validated at relaxation time).
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("edge costs are never NaN")
+            .then_with(|| self.node.index().cmp(&other.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm from `source` under `config`.
+///
+/// Complexity `O((|E| + |V|) log |V|)` with a binary heap, matching the
+/// `O(|E| + |V| log |V|)` the paper quotes for Algorithm 1 up to the usual
+/// binary-heap log factor.
+///
+/// # Panics
+///
+/// Panics if `edge_cost` returns a negative or NaN value.
+pub fn dijkstra<N, E, FC, FR>(
+    g: &Graph<N, E>,
+    source: NodeId,
+    config: &DijkstraConfig<FC, FR>,
+) -> DijkstraRun
+where
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+
+        // Relax out of `node` only if it may serve as an interior relay
+        // (the source itself always relays: it is an endpoint, not an
+        // interior vertex, of any path it originates).
+        if node != source && !(config.can_relay)(node) {
+            continue;
+        }
+
+        for (next, eid) in g.neighbors(node) {
+            if settled[next.index()] {
+                continue;
+            }
+            let w = (config.edge_cost)(g.edge(eid));
+            assert!(
+                w >= 0.0 && !w.is_nan(),
+                "edge cost must be non-negative and not NaN, got {w} for {eid}"
+            );
+            if w.is_infinite() {
+                continue;
+            }
+            let cand = cost + w;
+            if cand < dist[next.index()] {
+                dist[next.index()] = cand;
+                prev[next.index()] = Some((node, eid));
+                heap.push(HeapEntry {
+                    cost: cand,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    DijkstraRun { source, dist, prev }
+}
+
+/// Breadth-first shortest path by hop count, ignoring weights.
+///
+/// Returns `None` when `target` is unreachable from `source`.
+pub fn bfs_path<N, E>(g: &Graph<N, E>, source: NodeId, target: NodeId) -> Option<Path> {
+    let n = g.node_count();
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        if v == target {
+            break;
+        }
+        for (next, eid) in g.neighbors(v) {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                prev[next.index()] = Some((v, eid));
+                queue.push_back(next);
+            }
+        }
+    }
+    if !seen[target.index()] {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while let Some((p, e)) = prev[cur.index()] {
+        nodes.push(p);
+        edges.push(e);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    let cost = edges.len() as f64;
+    Some(Path { nodes, edges, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 2
+    ///  \----5----/
+    fn diamond() -> (Graph<(), f64>, [NodeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(a, c, 5.0);
+        (g, [a, b, c])
+    }
+
+    fn cost(e: EdgeRef<'_, f64>) -> f64 {
+        *e.payload
+    }
+
+    #[test]
+    fn shortest_path_basic() {
+        let (g, [a, b, c]) = diamond();
+        let run = dijkstra(&g, a, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(run.distance(c), Some(2.0));
+        let p = run.path_to(c).unwrap();
+        assert_eq!(p.nodes, vec![a, b, c]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(), a);
+        assert_eq!(p.destination(), c);
+        assert_eq!(p.interior(), &[b]);
+    }
+
+    #[test]
+    fn relay_filter_forces_detour() {
+        let (g, [a, b, c]) = diamond();
+        let cfg = DijkstraConfig {
+            edge_cost: cost,
+            can_relay: |n: NodeId| n != b,
+        };
+        let run = dijkstra(&g, a, &cfg);
+        // b is still *reachable* (it can be a destination)…
+        assert_eq!(run.distance(b), Some(1.0));
+        // …but paths may not pass through it.
+        assert_eq!(run.distance(c), Some(5.0));
+        assert_eq!(run.path_to(c).unwrap().nodes, vec![a, c]);
+    }
+
+    #[test]
+    fn infinite_edge_cost_excludes_edge() {
+        let (g, [a, _b, c]) = diamond();
+        let cfg = DijkstraConfig::all_nodes(|e: EdgeRef<'_, f64>| {
+            if *e.payload > 2.0 {
+                f64::INFINITY
+            } else {
+                *e.payload
+            }
+        });
+        let run = dijkstra(&g, a, &cfg);
+        assert_eq!(run.distance(c), Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let run = dijkstra(&g, a, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(run.distance(b), None);
+        assert!(run.path_to(b).is_none());
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let (g, [a, ..]) = diamond();
+        let run = dijkstra(&g, a, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(run.distance(a), Some(0.0));
+        let p = run.path_to(a).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.interior(), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn reachable_lists_everything_connected() {
+        let (g, [a, ..]) = diamond();
+        let run = dijkstra(&g, a, &DijkstraConfig::all_nodes(cost));
+        assert_eq!(run.reachable().count(), 3);
+    }
+
+    #[test]
+    fn picks_cheaper_of_parallel_edges() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 3.0);
+        let cheap = g.add_edge(a, b, 1.0);
+        let run = dijkstra(&g, a, &DijkstraConfig::all_nodes(cost));
+        let p = run.path_to(b).unwrap();
+        assert_eq!(p.cost, 1.0);
+        assert_eq!(p.edges, vec![cheap]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        let (g, [a, ..]) = diamond();
+        let cfg = DijkstraConfig::all_nodes(|_e: EdgeRef<'_, f64>| -1.0);
+        dijkstra(&g, a, &cfg);
+    }
+
+    #[test]
+    fn bfs_prefers_fewest_hops() {
+        let (g, [a, b, c]) = diamond();
+        // Weighted shortest is a-b-c; hop shortest is the direct a-c edge.
+        let p = bfs_path(&g, a, c).unwrap();
+        assert_eq!(p.nodes, vec![a, c]);
+        assert_eq!(bfs_path(&g, a, b).unwrap().len(), 1);
+        let mut g2: Graph<(), f64> = Graph::new();
+        let x = g2.add_node(());
+        let y = g2.add_node(());
+        assert!(bfs_path(&g2, x, y).is_none());
+    }
+}

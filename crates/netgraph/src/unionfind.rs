@@ -1,0 +1,196 @@
+//! Disjoint-set forest (union-find) with union by rank and path compression.
+//!
+//! The paper's Algorithms 2 and 3 maintain "unions" of quantum users that
+//! are already connected by selected channels; this is the data structure
+//! they reference (\[46\] in the paper). Amortized cost per operation is
+//! `O(α(n))` (inverse Ackermann).
+
+use crate::graph::NodeId;
+
+/// Disjoint-set forest over dense indices `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use qnet_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.same_set(0, 2));
+/// assert!(uf.union(1, 2));
+/// assert!(uf.same_set(0, 3));
+/// assert_eq!(uf.set_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure tracks zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression: point every node on the walk at the root.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` when they were
+    /// previously disjoint (i.e. the union did something).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            core::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            core::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            core::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Convenience: [`UnionFind::find`] keyed by [`NodeId`].
+    pub fn find_node(&mut self, n: NodeId) -> usize {
+        self.find(n.index())
+    }
+
+    /// Convenience: [`UnionFind::union`] keyed by [`NodeId`].
+    pub fn union_nodes(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.union(a.index(), b.index())
+    }
+
+    /// Convenience: [`UnionFind::same_set`] keyed by [`NodeId`].
+    pub fn same_set_nodes(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.same_set(a.index(), b.index())
+    }
+
+    /// `true` when every element queried through `items` lies in one set.
+    ///
+    /// Returns `true` for an empty or single-element iterator.
+    pub fn all_same_set(&mut self, items: impl IntoIterator<Item = usize>) -> bool {
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        let root = self.find(first);
+        iter.all(|x| self.find(x) == root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.same_set(0, 1));
+        assert_eq!(uf.find(2), 2);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "second union of same pair is a no-op");
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.union(3, 4));
+        assert!(uf.union(0, 4));
+        assert_eq!(uf.set_count(), 2);
+        assert!(uf.same_set(1, 3));
+        assert!(!uf.same_set(2, 3));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same_set(0, 99));
+    }
+
+    #[test]
+    fn all_same_set_edge_cases() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.all_same_set([]));
+        assert!(uf.all_same_set([2]));
+        assert!(!uf.all_same_set([0, 1]));
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.all_same_set([0, 1, 2]));
+        assert!(!uf.all_same_set([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn node_id_helpers() {
+        let mut uf = UnionFind::new(3);
+        let (a, b) = (NodeId::new(0), NodeId::new(2));
+        assert!(uf.union_nodes(a, b));
+        assert!(uf.same_set_nodes(a, b));
+        assert_eq!(uf.find_node(a), uf.find_node(b));
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..8 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Bell-state-measurement (BSM) entanglement swapping.
+//!
+//! A quantum switch holding one qubit of each of two Bell pairs measures
+//! the two local qubits jointly; on success (probability `q`, uniform
+//! across switches per the paper's §II-A) the two remote qubits become
+//! entangled and the local qubits are freed.
+
+use rand::Rng;
+
+/// The swapping success model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BsmModel {
+    /// Success probability `q ∈ [0, 1]` of one BSM.
+    pub swap_success: f64,
+}
+
+impl BsmModel {
+    /// Creates the model, validating the probability range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q ∉ [0, 1]`.
+    pub fn new(swap_success: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&swap_success),
+            "swap success must be a probability, got {swap_success}"
+        );
+        BsmModel { swap_success }
+    }
+
+    /// Samples one BSM attempt.
+    pub fn attempt<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.random_bool(self.swap_success)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_matches_q() {
+        let m = BsmModel::new(0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 50_000;
+        let hits = (0..trials).filter(|_| m.attempt(&mut rng)).count() as f64;
+        let sigma = (0.9 * 0.1 / trials as f64).sqrt();
+        assert!((hits / trials as f64 - 0.9).abs() < 5.0 * sigma);
+    }
+
+    #[test]
+    fn extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..50).all(|_| BsmModel::new(1.0).attempt(&mut rng)));
+        assert!((0..50).all(|_| !BsmModel::new(0.0).attempt(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_rejected() {
+        BsmModel::new(1.2);
+    }
+}

@@ -1,0 +1,461 @@
+//! Buffered (asynchronous) entanglement generation — a protocol variant
+//! beyond the paper's synchronized model.
+//!
+//! The paper's Eq. 1 assumes all links of a channel must succeed "during
+//! the fixed time period" — a fully synchronized all-or-nothing slot.
+//! Real memories can *hold* a heralded Bell pair for a few slots, letting
+//! slow links catch up (the asynchronous routing idea of Farahbakhsh &
+//! Feng \[14\], which the paper's related-work section cites). This module
+//! simulates a channel under a memory **cutoff**: a link-level pair
+//! survives at most `cutoff` additional slots before decohering.
+//!
+//! * `cutoff = 0` reproduces the paper's synchronized model exactly
+//!   (validated in tests against Eq. 1).
+//! * `cutoff > 0` strictly increases the per-slot entanglement rate,
+//!   quantifying how much the synchronized assumption costs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bsm::BsmModel;
+use crate::link::LinkModel;
+use crate::metrics::RateEstimate;
+
+/// A single channel simulated under buffered link generation.
+#[derive(Clone, Debug)]
+pub struct BufferedChannel {
+    lengths: Vec<f64>,
+    link: LinkModel,
+    bsm: BsmModel,
+    cutoff: u32,
+}
+
+impl BufferedChannel {
+    /// Creates the simulation for a channel with the given per-link fiber
+    /// lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lengths` is empty or physics parameters are out of
+    /// range.
+    pub fn new(lengths: Vec<f64>, swap_success: f64, attenuation: f64, cutoff: u32) -> Self {
+        assert!(!lengths.is_empty(), "a channel has at least one link");
+        BufferedChannel {
+            lengths,
+            link: LinkModel { attenuation },
+            bsm: BsmModel::new(swap_success),
+            cutoff,
+        }
+    }
+
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// The synchronized-model analytic rate (paper Eq. 1) this channel
+    /// would have: `q^(l−1) · Π exp(−α·Lᵢ)`.
+    pub fn synchronized_rate(&self) -> f64 {
+        let p: f64 = self
+            .lengths
+            .iter()
+            .map(|&l| self.link.success_prob(l))
+            .product();
+        self.bsm.swap_success.powi(self.links() as i32 - 1) * p
+    }
+
+    /// Simulates `slots` time slots and counts end-to-end entanglements.
+    ///
+    /// Per slot: every link without a live pair attempts generation;
+    /// pairs older than the cutoff decohere; when *all* links hold live
+    /// pairs simultaneously, the interior switches swap (each succeeding
+    /// with `q`), consuming every pair whatever the outcome — a failed
+    /// swap collapses the whole attempt, as in the paper's model.
+    pub fn run(&self, slots: u64, seed: u64) -> RateEstimate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // age[i]: Some(a) = link i holds a pair generated `a` slots ago.
+        let mut age: Vec<Option<u32>> = vec![None; self.links()];
+        let mut successes = 0u64;
+        for _ in 0..slots {
+            // Decohere and (re)generate.
+            for (i, slot_age) in age.iter_mut().enumerate() {
+                match slot_age {
+                    Some(a) if *a >= self.cutoff => *slot_age = None,
+                    Some(a) => *a += 1,
+                    None => {}
+                }
+                if slot_age.is_none() && self.link.attempt(self.lengths[i], &mut rng) {
+                    *slot_age = Some(0);
+                }
+            }
+            // Swap when the whole channel is ready.
+            if age.iter().all(Option::is_some) {
+                let mut ok = true;
+                for _ in 1..self.links() {
+                    if !self.bsm.attempt(&mut rng) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    successes += 1;
+                }
+                // All pairs are consumed either way.
+                age.iter_mut().for_each(|a| *a = None);
+            }
+        }
+        RateEstimate {
+            successes,
+            trials: slots,
+        }
+    }
+}
+
+/// A rate + delivered-fidelity estimate from a fidelity-tracked run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FidelityTrackedStats {
+    /// Per-slot end-to-end success estimate.
+    pub rate: RateEstimate,
+    /// Mean delivered end-to-end Werner fidelity over the successful
+    /// slots (0 when nothing succeeded).
+    pub mean_fidelity: f64,
+}
+
+impl BufferedChannel {
+    /// Simulates `slots` slots tracking *delivered fidelity*: each stored
+    /// Bell pair starts at `link_fidelity` and its depolarizing parameter
+    /// decays by `memory_decay` per slot spent waiting in memory (1.0 =
+    /// lossless memory). The end-to-end fidelity of a successful slot is
+    /// the Werner composition of the (aged) link fidelities.
+    ///
+    /// This exposes the buffering trade-off the synchronized model hides:
+    /// longer cutoffs raise the rate but deliver *older*, noisier pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_fidelity ∉ [1/4, 1]` or `memory_decay ∉ (0, 1]`.
+    pub fn run_with_fidelity(
+        &self,
+        link_fidelity: f64,
+        memory_decay: f64,
+        slots: u64,
+        seed: u64,
+    ) -> FidelityTrackedStats {
+        assert!(
+            (0.25..=1.0).contains(&link_fidelity),
+            "Werner link fidelity must be in [1/4, 1], got {link_fidelity}"
+        );
+        assert!(
+            memory_decay > 0.0 && memory_decay <= 1.0,
+            "memory decay must be in (0, 1], got {memory_decay}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w_fresh = crate::fidelity::to_w(link_fidelity);
+        let mut age: Vec<Option<u32>> = vec![None; self.links()];
+        let mut successes = 0u64;
+        let mut fidelity_sum = 0.0f64;
+        for _ in 0..slots {
+            for (i, slot_age) in age.iter_mut().enumerate() {
+                match slot_age {
+                    Some(a) if *a >= self.cutoff => *slot_age = None,
+                    Some(a) => *a += 1,
+                    None => {}
+                }
+                if slot_age.is_none() && self.link.attempt(self.lengths[i], &mut rng) {
+                    *slot_age = Some(0);
+                }
+            }
+            if age.iter().all(Option::is_some) {
+                let mut ok = true;
+                for _ in 1..self.links() {
+                    if !self.bsm.attempt(&mut rng) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    successes += 1;
+                    // Werner composition multiplies depolarizing
+                    // parameters; memory aging multiplies in a decay per
+                    // waited slot.
+                    let w_total: f64 = age
+                        .iter()
+                        .map(|a| {
+                            let waited = a.expect("all links ready");
+                            w_fresh * memory_decay.powi(waited as i32)
+                        })
+                        .product();
+                    fidelity_sum += crate::fidelity::from_w(w_total);
+                }
+                age.iter_mut().for_each(|a| *a = None);
+            }
+        }
+        FidelityTrackedStats {
+            rate: RateEstimate {
+                successes,
+                trials: slots,
+            },
+            mean_fidelity: if successes == 0 {
+                0.0
+            } else {
+                fidelity_sum / successes as f64
+            },
+        }
+    }
+}
+
+/// Time-to-entanglement for a whole tree under asynchronous completion.
+///
+/// The paper's synchronized model needs *every* channel of the tree to
+/// succeed in the same slot: the expected wait is `1 / P` with `P` from
+/// Eq. 2. If users can hold their completed channels (the paper grants
+/// users "enough quantum memory"), channels complete independently and
+/// the tree is ready at the *maximum* of the per-channel completion
+/// times — exponentially faster for large trees.
+#[derive(Clone, Debug)]
+pub struct BufferedTree {
+    channels: Vec<BufferedChannel>,
+}
+
+impl BufferedTree {
+    /// Builds the tree simulation from per-channel fiber-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel_lengths` is empty or any channel is empty.
+    pub fn new(
+        channel_lengths: Vec<Vec<f64>>,
+        swap_success: f64,
+        attenuation: f64,
+        cutoff: u32,
+    ) -> Self {
+        assert!(!channel_lengths.is_empty(), "a tree has at least one channel");
+        BufferedTree {
+            channels: channel_lengths
+                .into_iter()
+                .map(|l| BufferedChannel::new(l, swap_success, attenuation, cutoff))
+                .collect(),
+        }
+    }
+
+    /// The synchronized model's expected slots to entangle everyone:
+    /// `1 / P_tree` (geometric waiting on Eq. 2).
+    pub fn synchronized_expected_slots(&self) -> f64 {
+        let p: f64 = self.channels.iter().map(BufferedChannel::synchronized_rate).product();
+        1.0 / p
+    }
+
+    /// Monte-Carlo mean slots until every channel has completed once,
+    /// with completed channels held at the users (asynchronous tree
+    /// building). Each channel runs its own buffered link protocol.
+    pub fn mean_slots_to_completion(&self, trials: u64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mut done = vec![false; self.channels.len()];
+            // Per-channel link ages, as in BufferedChannel::run.
+            let mut ages: Vec<Vec<Option<u32>>> =
+                self.channels.iter().map(|c| vec![None; c.links()]).collect();
+            let mut slots = 0u64;
+            while !done.iter().all(|&d| d) {
+                slots += 1;
+                for (ci, channel) in self.channels.iter().enumerate() {
+                    if done[ci] {
+                        continue;
+                    }
+                    let age = &mut ages[ci];
+                    for (i, slot_age) in age.iter_mut().enumerate() {
+                        match slot_age {
+                            Some(a) if *a >= channel.cutoff => *slot_age = None,
+                            Some(a) => *a += 1,
+                            None => {}
+                        }
+                        if slot_age.is_none()
+                            && channel.link.attempt(channel.lengths[i], &mut rng)
+                        {
+                            *slot_age = Some(0);
+                        }
+                    }
+                    if age.iter().all(Option::is_some) {
+                        let mut ok = true;
+                        for _ in 1..channel.links() {
+                            if !channel.bsm.attempt(&mut rng) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        age.iter_mut().for_each(|a| *a = None);
+                        if ok {
+                            done[ci] = true;
+                        }
+                    }
+                }
+                if slots > 10_000_000 {
+                    panic!("tree completion did not converge; check parameters");
+                }
+            }
+            total += slots;
+        }
+        total as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel(cutoff: u32) -> BufferedChannel {
+        BufferedChannel::new(vec![3000.0, 5000.0, 4000.0], 0.9, 1e-4, cutoff)
+    }
+
+    #[test]
+    fn zero_cutoff_matches_synchronized_eq1() {
+        let c = channel(0);
+        let analytic = c.synchronized_rate();
+        let est = c.run(120_000, 5);
+        assert!(
+            est.wilson_interval(4.0).contains(analytic),
+            "MC {} vs Eq. 1 {analytic}",
+            est.point()
+        );
+    }
+
+    #[test]
+    fn buffering_strictly_helps() {
+        let sync = channel(0).run(80_000, 6).point();
+        let buf2 = channel(2).run(80_000, 6).point();
+        let buf8 = channel(8).run(80_000, 6).point();
+        assert!(buf2 > sync * 1.2, "cutoff 2 should clearly help: {buf2} vs {sync}");
+        assert!(buf8 >= buf2, "longer memory never hurts: {buf8} vs {buf2}");
+    }
+
+    #[test]
+    fn single_link_channel_needs_no_swaps() {
+        let c = BufferedChannel::new(vec![2000.0], 0.9, 1e-4, 0);
+        let analytic = (-0.2f64).exp();
+        assert!((c.synchronized_rate() - analytic).abs() < 1e-12);
+        let est = c.run(60_000, 7);
+        assert!(est.wilson_interval(4.0).contains(analytic));
+    }
+
+    #[test]
+    fn buffered_rate_is_bounded_by_bottleneck_link() {
+        // Even infinite patience cannot beat the slowest link's success
+        // probability per slot (one end-to-end attempt needs at least one
+        // fresh success on every link).
+        let c = channel(50);
+        let est = c.run(80_000, 8).point();
+        let bottleneck = (-0.5f64).exp(); // worst link: 5000 km
+        assert!(est <= bottleneck, "rate {est} exceeds bottleneck {bottleneck}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_channel_rejected() {
+        BufferedChannel::new(vec![], 0.9, 1e-4, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = channel(3).run(5_000, 9);
+        let b = channel(3).run(5_000, 9);
+        assert_eq!(a, b);
+    }
+
+    fn tree(cutoff: u32) -> BufferedTree {
+        BufferedTree::new(
+            vec![
+                vec![2000.0, 3000.0],
+                vec![4000.0],
+                vec![1500.0, 2500.0, 2000.0],
+            ],
+            0.9,
+            1e-4,
+            cutoff,
+        )
+    }
+
+    #[test]
+    fn async_completion_beats_synchronized_waiting() {
+        let t = tree(0);
+        let sync = t.synchronized_expected_slots();
+        let async_mean = t.mean_slots_to_completion(400, 11);
+        assert!(
+            async_mean < sync * 0.8,
+            "holding completed channels must pay off: async {async_mean} vs sync {sync}"
+        );
+    }
+
+    #[test]
+    fn buffering_also_speeds_tree_completion() {
+        let slow = tree(0).mean_slots_to_completion(400, 12);
+        let fast = tree(4).mean_slots_to_completion(400, 12);
+        assert!(fast < slow, "cutoff 4 should complete faster: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn single_channel_tree_matches_geometric_wait() {
+        // One channel, cutoff 0: completion is geometric with p = Eq. 1,
+        // so the mean is 1/p.
+        let t = BufferedTree::new(vec![vec![3000.0, 3000.0]], 0.9, 1e-4, 0);
+        let p = 0.9 * (-0.6f64).exp();
+        let mean = t.mean_slots_to_completion(4000, 13);
+        let expected = 1.0 / p;
+        // Geometric std is ~expected; 4000 trials → s.e. ≈ expected/63.
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean {mean} vs geometric {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_tree_rejected() {
+        BufferedTree::new(vec![], 0.9, 1e-4, 0);
+    }
+
+    #[test]
+    fn sync_cutoff_delivers_fresh_fidelity() {
+        // cutoff 0: every surviving pair is fresh, so delivered fidelity
+        // equals the closed-form chain fidelity exactly.
+        let c = channel(0);
+        let stats = c.run_with_fidelity(0.97, 0.98, 60_000, 21);
+        let expected = crate::fidelity::chain_fidelity(0.97, c.links());
+        assert!(
+            (stats.mean_fidelity - expected).abs() < 1e-9,
+            "delivered {} vs closed-form {expected}",
+            stats.mean_fidelity
+        );
+        assert!(stats.rate.successes > 0);
+    }
+
+    #[test]
+    fn buffering_trades_fidelity_for_rate() {
+        let sync = channel(0).run_with_fidelity(0.97, 0.95, 80_000, 22);
+        let buffered = channel(6).run_with_fidelity(0.97, 0.95, 80_000, 22);
+        assert!(
+            buffered.rate.point() > sync.rate.point(),
+            "buffering must raise the rate"
+        );
+        assert!(
+            buffered.mean_fidelity < sync.mean_fidelity,
+            "aged memories must lower delivered fidelity: {} vs {}",
+            buffered.mean_fidelity,
+            sync.mean_fidelity
+        );
+    }
+
+    #[test]
+    fn lossless_memory_preserves_fidelity() {
+        let c = channel(8);
+        let stats = c.run_with_fidelity(0.97, 1.0, 40_000, 23);
+        let expected = crate::fidelity::chain_fidelity(0.97, c.links());
+        assert!((stats.mean_fidelity - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory decay")]
+    fn zero_decay_rejected() {
+        channel(2).run_with_fidelity(0.97, 0.0, 10, 24);
+    }
+}

@@ -1,0 +1,411 @@
+//! The time-slotted simulation engine.
+//!
+//! Each slot executes the plan mechanically (paper §II-B: synchronized
+//! clocks, pre-distributed routes):
+//!
+//! 1. every link of every channel attempts heralded Bell-pair generation;
+//! 2. a channel whose links all succeeded performs BSMs at each interior
+//!    switch, left to right;
+//! 3. fusion plans then attempt the GHZ measurement at the center;
+//! 4. the slot succeeds iff the entanglement registry certifies all user
+//!    endpoints in one entangled group.
+//!
+//! Success is read off the [`crate::entangle::Registry`], so a bug in the
+//! protocol mechanics (wrong qubit pairing, missing swap) would produce a
+//! measurable rate deviation rather than silently reproducing Eq. 2.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bsm::BsmModel;
+use crate::entangle::{QubitId, Registry};
+use crate::fusion::FusionModel;
+use crate::link::LinkModel;
+use crate::metrics::RateEstimate;
+use crate::plan::{PlanKind, RoutingPlan};
+
+/// Physics parameters of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimPhysics {
+    /// BSM success rate `q`.
+    pub swap_success: f64,
+    /// Fiber attenuation `α`.
+    pub attenuation: f64,
+    /// Optional fixed fusion success overriding the `q^(n−1)` power law.
+    pub fusion_success: Option<f64>,
+}
+
+/// Aggregate slot statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Slots in which end-to-end entanglement was certified.
+    pub successes: u64,
+    /// Total slots simulated.
+    pub trials: u64,
+}
+
+impl SlotStats {
+    /// View as a [`RateEstimate`] for interval math.
+    pub fn estimate(&self) -> RateEstimate {
+        RateEstimate {
+            successes: self.successes,
+            trials: self.trials,
+        }
+    }
+}
+
+/// The Monte-Carlo simulator for one routing plan.
+#[derive(Debug)]
+pub struct Simulator {
+    plan: RoutingPlan,
+    link: LinkModel,
+    bsm: BsmModel,
+    fusion: FusionModel,
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic RNG seed.
+    pub fn new(plan: RoutingPlan, physics: SimPhysics, seed: u64) -> Self {
+        Simulator {
+            plan,
+            link: LinkModel {
+                attenuation: physics.attenuation,
+            },
+            bsm: BsmModel::new(physics.swap_success),
+            fusion: FusionModel {
+                swap_success: physics.swap_success,
+                fixed: physics.fusion_success,
+            },
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The plan under simulation.
+    pub fn plan(&self) -> &RoutingPlan {
+        &self.plan
+    }
+
+    /// Simulates one slot; `true` when all users ended up entangled.
+    pub fn run_slot(&mut self) -> bool {
+        self.run_slot_observed(&mut |_| {})
+    }
+
+    /// Simulates one slot, emitting a [`crate::trace::Event`] for every
+    /// protocol step. The observer never perturbs the RNG stream, so
+    /// traced and untraced runs produce identical statistics.
+    pub fn run_slot_observed(&mut self, obs: &mut dyn FnMut(crate::trace::Event)) -> bool {
+        let outcome = self.run_slot_inner(obs);
+        obs(crate::trace::Event::SlotOutcome { success: outcome });
+        outcome
+    }
+
+    fn run_slot_inner(&mut self, obs: &mut dyn FnMut(crate::trace::Event)) -> bool {
+        let mut registry = Registry::with_capacity(self.plan.max_qubits());
+
+        // Per-channel terminal qubits (head, tail), None when the channel
+        // failed this slot.
+        let mut terminals: Vec<Option<(QubitId, QubitId)>> =
+            Vec::with_capacity(self.plan.channels.len());
+
+        for (idx, channel) in self.plan.channels.iter().enumerate() {
+            terminals.push(simulate_channel(
+                idx,
+                channel,
+                &self.link,
+                &self.bsm,
+                &mut registry,
+                &mut self.rng,
+                obs,
+            ));
+        }
+
+        // Every channel must have succeeded.
+        if terminals.iter().any(Option::is_none) {
+            return false;
+        }
+        let terminals: Vec<(QubitId, QubitId)> = terminals.into_iter().flatten().collect();
+
+        match self.plan.kind {
+            PlanKind::Tree => {
+                // Certify: the per-channel Bell pairs plus co-location at
+                // shared users connect every user. Union over node ids.
+                let users = self.plan.users();
+                let max_node = self
+                    .plan
+                    .channels
+                    .iter()
+                    .flat_map(|c| c.nodes.iter().copied())
+                    .max()
+                    .unwrap_or(0);
+                let mut uf = qnet_graph::UnionFind::new(max_node + 1);
+                for ((hq, tq), channel) in terminals.iter().zip(&self.plan.channels) {
+                    if !registry.entangled_together(*hq, *tq) {
+                        return false; // protocol bug guard
+                    }
+                    uf.union(channel.head(), channel.tail());
+                }
+                uf.all_same_set(users.iter().copied())
+            }
+            PlanKind::FusionStar {
+                center,
+                center_is_switch,
+            } => {
+                // Collect the center-side qubits of each arm.
+                let mut center_qubits: Vec<QubitId> = Vec::with_capacity(terminals.len() + 1);
+                let mut user_qubits: Vec<QubitId> = Vec::with_capacity(terminals.len() + 1);
+                for ((hq, tq), channel) in terminals.iter().zip(&self.plan.channels) {
+                    let (cq, uq) = if channel.tail() == center {
+                        (*tq, *hq)
+                    } else {
+                        (*hq, *tq)
+                    };
+                    center_qubits.push(cq);
+                    user_qubits.push(uq);
+                }
+                if !center_is_switch {
+                    // A user center contributes a local qubit to the GHZ:
+                    // model it as a perfect local Bell pair between two
+                    // fresh qubits at the center, one fused, one kept.
+                    let kept = registry.alloc(center);
+                    let fused = registry.alloc(center);
+                    registry.bell_pair(kept, fused);
+                    center_qubits.push(fused);
+                    user_qubits.push(kept);
+                }
+                let arity = center_qubits.len();
+                let fused = self.fusion.attempt(arity, &mut self.rng);
+                obs(crate::trace::Event::Fusion {
+                    center,
+                    arity,
+                    success: fused,
+                });
+                if !fused {
+                    return false;
+                }
+                registry.fuse(&center_qubits);
+                registry.all_entangled_together(&user_qubits)
+            }
+        }
+    }
+
+    /// Simulates `n` slots and aggregates the statistics.
+    pub fn run_slots(&mut self, n: u64) -> SlotStats {
+        let mut stats = SlotStats::default();
+        for _ in 0..n {
+            stats.trials += 1;
+            if self.run_slot() {
+                stats.successes += 1;
+            }
+        }
+        stats
+    }
+
+    /// The analytic rate (Eq. 1/2 with the fusion factor for stars) this
+    /// simulation should converge to.
+    pub fn analytic_rate(&self) -> f64 {
+        self.plan.analytic_rate(
+            self.bsm.swap_success,
+            self.link.attenuation,
+            self.fusion.fixed,
+        )
+    }
+}
+
+/// Simulates one channel: heralded links, then BSMs left to right.
+/// Returns the surviving terminal qubits on success.
+fn simulate_channel(
+    channel_idx: usize,
+    channel: &crate::plan::ChannelSpec,
+    link: &LinkModel,
+    bsm: &BsmModel,
+    registry: &mut Registry,
+    rng: &mut StdRng,
+    obs: &mut dyn FnMut(crate::trace::Event),
+) -> Option<(QubitId, QubitId)> {
+    // Heralded link attempts: all must succeed before swapping starts.
+    for (i, &length) in channel.lengths.iter().enumerate() {
+        let success = link.attempt(length, rng);
+        obs(crate::trace::Event::LinkAttempt {
+            channel: channel_idx,
+            link: i,
+            success,
+        });
+        if !success {
+            return None;
+        }
+    }
+
+    // Allocate qubits and lay down the Bell pairs. Node i holds the
+    // "right" qubit of link i−1 and the "left" qubit of link i.
+    let l = channel.links();
+    let mut right_of_link: Vec<QubitId> = Vec::with_capacity(l);
+    let mut left_of_link: Vec<QubitId> = Vec::with_capacity(l);
+    for i in 0..l {
+        left_of_link.push(registry.alloc(channel.nodes[i]));
+        right_of_link.push(registry.alloc(channel.nodes[i + 1]));
+    }
+    for i in 0..l {
+        registry.bell_pair(left_of_link[i], right_of_link[i]);
+    }
+
+    // BSM at each interior node: measures (incoming right, outgoing left).
+    for i in 1..l {
+        let success = bsm.attempt(rng);
+        obs(crate::trace::Event::Swap {
+            channel: channel_idx,
+            switch: channel.nodes[i],
+            success,
+        });
+        if !success {
+            return None;
+        }
+        registry.swap(right_of_link[i - 1], left_of_link[i]);
+    }
+
+    let head_q = left_of_link[0];
+    let tail_q = right_of_link[l - 1];
+    debug_assert!(registry.entangled_together(head_q, tail_q));
+    Some((head_q, tail_q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChannelSpec;
+
+    fn physics(q: f64) -> SimPhysics {
+        SimPhysics {
+            swap_success: q,
+            attenuation: 1e-4,
+            fusion_success: None,
+        }
+    }
+
+    fn two_hop_channel() -> ChannelSpec {
+        ChannelSpec::new(vec![0, 1, 2], vec![1000.0, 1000.0], &[false, true, false])
+    }
+
+    #[test]
+    fn single_channel_converges_to_eq1() {
+        let plan = RoutingPlan::tree(vec![two_hop_channel()]);
+        let mut sim = Simulator::new(plan, physics(0.9), 7);
+        let analytic = sim.analytic_rate();
+        assert!((analytic - 0.9 * (-0.2f64).exp()).abs() < 1e-12);
+        let stats = sim.run_slots(40_000);
+        assert!(
+            stats.estimate().wilson_interval(4.0).contains(analytic),
+            "MC {} vs analytic {analytic}",
+            stats.estimate().point()
+        );
+    }
+
+    #[test]
+    fn tree_converges_to_eq2() {
+        // Star tree: u0–s1–u2 and u0–s1–u3 (switch 1 relays twice).
+        let plan = RoutingPlan::tree(vec![
+            two_hop_channel(),
+            ChannelSpec::new(vec![0, 1, 3], vec![1000.0, 2000.0], &[false, true, false]),
+        ]);
+        let mut sim = Simulator::new(plan, physics(0.9), 8);
+        let analytic = sim.analytic_rate();
+        let stats = sim.run_slots(60_000);
+        assert!(
+            stats.estimate().wilson_interval(4.0).contains(analytic),
+            "MC {} vs analytic {analytic}",
+            stats.estimate().point()
+        );
+    }
+
+    #[test]
+    fn perfect_physics_always_succeeds() {
+        let plan = RoutingPlan::tree(vec![ChannelSpec::new(
+            vec![0, 1, 2],
+            vec![0.0, 0.0],
+            &[false, true, false],
+        )]);
+        let mut sim = Simulator::new(
+            plan,
+            SimPhysics {
+                swap_success: 1.0,
+                attenuation: 0.0,
+                fusion_success: None,
+            },
+            9,
+        );
+        let stats = sim.run_slots(500);
+        assert_eq!(stats.successes, 500);
+    }
+
+    #[test]
+    fn zero_swap_rate_never_spans_multi_hop() {
+        let plan = RoutingPlan::tree(vec![two_hop_channel()]);
+        let mut sim = Simulator::new(plan, physics(0.0), 10);
+        let stats = sim.run_slots(500);
+        assert_eq!(stats.successes, 0);
+    }
+
+    #[test]
+    fn fusion_star_converges_to_analytic() {
+        let arms = vec![
+            ChannelSpec::new(vec![0, 9], vec![800.0], &[false, true]),
+            ChannelSpec::new(vec![2, 9], vec![800.0], &[false, true]),
+            ChannelSpec::new(vec![3, 9], vec![800.0], &[false, true]),
+        ];
+        let plan = RoutingPlan::fusion_star(arms, 9, true);
+        let mut sim = Simulator::new(plan, physics(0.9), 11);
+        let analytic = sim.analytic_rate();
+        // p³·q² with p = e^{-0.08}.
+        assert!((analytic - (-0.24f64).exp() * 0.81).abs() < 1e-12);
+        let stats = sim.run_slots(60_000);
+        assert!(
+            stats.estimate().wilson_interval(4.0).contains(analytic),
+            "MC {} vs analytic {analytic}",
+            stats.estimate().point()
+        );
+    }
+
+    #[test]
+    fn user_centered_fusion_has_higher_arity() {
+        let arms = vec![
+            ChannelSpec::new(vec![0, 9], vec![0.0], &[false, false]),
+            ChannelSpec::new(vec![2, 9], vec![0.0], &[false, false]),
+        ];
+        let plan = RoutingPlan::fusion_star(arms, 9, false);
+        let mut sim = Simulator::new(
+            plan,
+            SimPhysics {
+                swap_success: 0.9,
+                attenuation: 0.0,
+                fusion_success: None,
+            },
+            12,
+        );
+        // Arity 3 (two arms + local) → q² on perfect links.
+        let analytic = sim.analytic_rate();
+        assert!((analytic - 0.81).abs() < 1e-12);
+        let stats = sim.run_slots(40_000);
+        assert!(stats.estimate().wilson_interval(4.0).contains(analytic));
+    }
+
+    #[test]
+    fn longer_channels_are_strictly_worse() {
+        let short = RoutingPlan::tree(vec![two_hop_channel()]);
+        let long = RoutingPlan::tree(vec![ChannelSpec::new(
+            vec![0, 1, 2, 3],
+            vec![1000.0, 1000.0, 1000.0],
+            &[false, true, true, false],
+        )]);
+        let s_short = Simulator::new(short, physics(0.9), 13).run_slots(30_000);
+        let s_long = Simulator::new(long, physics(0.9), 14).run_slots(30_000);
+        assert!(s_long.successes < s_short.successes);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let plan = RoutingPlan::tree(vec![two_hop_channel()]);
+        let a = Simulator::new(plan.clone(), physics(0.9), 15).run_slots(2_000);
+        let b = Simulator::new(plan, physics(0.9), 15).run_slots(2_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! n-fusion: GHZ projective measurements (the paper's Fig. 2).
+//!
+//! An n-fusion measures `n` co-located qubits jointly, projecting their
+//! remote partners into an n-GHZ state. The paper stresses (§I, refs
+//! \[38\]–\[40\]) that GHZ measurements are *less reliable* than BSMs; the
+//! default model compounds the BSM rate per fused qubit beyond the
+//! first, `q^(n−1)`, which exactly recovers a BSM at `n = 2`.
+
+use rand::Rng;
+
+/// Success model of an n-qubit GHZ projective measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FusionModel {
+    /// BSM success rate `q` the power law compounds.
+    pub swap_success: f64,
+    /// Optional fixed per-measurement probability overriding the power
+    /// law.
+    pub fixed: Option<f64>,
+}
+
+impl FusionModel {
+    /// Success probability of fusing `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2`.
+    pub fn success_prob(&self, n: usize) -> f64 {
+        assert!(n >= 2, "fusion needs at least 2 qubits, got {n}");
+        match self.fixed {
+            Some(p) => p,
+            None => self.swap_success.powi(n as i32 - 1),
+        }
+    }
+
+    /// Samples one fusion attempt on `n` qubits.
+    pub fn attempt<R: Rng>(&self, n: usize, rng: &mut R) -> bool {
+        rng.random_bool(self.success_prob(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_recovers_bsm_at_two() {
+        let m = FusionModel {
+            swap_success: 0.9,
+            fixed: None,
+        };
+        assert!((m.success_prob(2) - 0.9).abs() < 1e-12);
+        assert!((m.success_prob(5) - 0.9f64.powi(4)).abs() < 1e-12);
+        // Strictly decreasing in arity: fusing more is harder.
+        assert!(m.success_prob(3) < m.success_prob(2));
+    }
+
+    #[test]
+    fn fixed_model_ignores_arity() {
+        let m = FusionModel {
+            swap_success: 0.9,
+            fixed: Some(0.42),
+        };
+        assert_eq!(m.success_prob(2), 0.42);
+        assert_eq!(m.success_prob(10), 0.42);
+    }
+
+    #[test]
+    fn sampling_matches_probability() {
+        let m = FusionModel {
+            swap_success: 0.9,
+            fixed: None,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 50_000;
+        let p = m.success_prob(4);
+        let hits = (0..trials).filter(|_| m.attempt(4, &mut rng)).count() as f64;
+        let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+        assert!((hits / trials as f64 - p).abs() < 5.0 * sigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn unary_fusion_rejected() {
+        FusionModel {
+            swap_success: 0.9,
+            fixed: None,
+        }
+        .success_prob(1);
+    }
+}

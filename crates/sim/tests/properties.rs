@@ -1,0 +1,120 @@
+//! Property-based tests over random routing plans.
+
+use proptest::prelude::*;
+use qnet_sim::engine::{SimPhysics, Simulator};
+use qnet_sim::plan::{ChannelSpec, RoutingPlan};
+
+/// A random tree plan: up to 4 channels of up to 4 links each, disjoint
+/// node-id ranges per channel so the plan is structurally a valid star.
+fn arb_tree_plan() -> impl Strategy<Value = RoutingPlan> {
+    proptest::collection::vec(
+        (1usize..=4, proptest::collection::vec(0.0f64..4000.0, 4)),
+        1..=4,
+    )
+    .prop_map(|channels| {
+        let mut specs = Vec::new();
+        for (ci, (links, lens)) in channels.into_iter().enumerate() {
+            let base = 100 * (ci + 1);
+            // Chain: user(base) - sw(base+1) ... - user(0) so channels
+            // share user 0 (a star over user 0 = a valid tree).
+            let mut nodes = vec![base];
+            let mut flags = vec![false];
+            for k in 1..links {
+                nodes.push(base + k);
+                flags.push(true);
+            }
+            nodes.push(0);
+            flags.push(false);
+            specs.push(ChannelSpec::new(
+                nodes,
+                lens[..links].to_vec(),
+                &flags,
+            ));
+        }
+        RoutingPlan::tree(specs)
+    })
+}
+
+fn physics(q: f64) -> SimPhysics {
+    SimPhysics {
+        swap_success: q,
+        attenuation: 1e-4,
+        fusion_success: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn analytic_rate_is_a_probability(plan in arb_tree_plan(), q in 0.0f64..=1.0) {
+        let r = plan.analytic_rate(q, 1e-4, None);
+        prop_assert!((0.0..=1.0).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic(plan in arb_tree_plan()) {
+        let mut sim = Simulator::new(plan, physics(0.9), 99);
+        let analytic = sim.analytic_rate();
+        let stats = sim.run_slots(25_000);
+        if analytic > 1e-4 {
+            // Enough signal to test; z = 5 keeps the flake rate negligible
+            // across the sampled cases.
+            prop_assert!(
+                stats.estimate().wilson_interval(5.0).contains(analytic),
+                "MC {} vs analytic {analytic}",
+                stats.estimate().point()
+            );
+        } else {
+            // Tiny rates: just require few successes.
+            prop_assert!(stats.successes <= 25 + (25_000.0 * analytic * 10.0) as u64);
+        }
+    }
+
+    #[test]
+    fn rate_decreases_when_q_drops(plan in arb_tree_plan()) {
+        let hi = plan.analytic_rate(0.95, 1e-4, None);
+        let lo = plan.analytic_rate(0.5, 1e-4, None);
+        // Equal only when no channel swaps (all single-link).
+        prop_assert!(lo <= hi + 1e-15);
+    }
+
+    #[test]
+    fn rate_decreases_with_attenuation(plan in arb_tree_plan()) {
+        let clear = plan.analytic_rate(0.9, 1e-5, None);
+        let lossy = plan.analytic_rate(0.9, 1e-3, None);
+        prop_assert!(lossy <= clear + 1e-15);
+    }
+
+    #[test]
+    fn qubit_demand_is_even_and_bounded(plan in arb_tree_plan()) {
+        let demand = plan.qubit_demand();
+        let total_interior: usize = plan
+            .channels
+            .iter()
+            .map(|c| c.interior().len())
+            .sum();
+        let total_demand: u32 = demand.values().sum();
+        prop_assert_eq!(total_demand as usize, 2 * total_interior);
+        for (_, d) in demand {
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_simulation(plan in arb_tree_plan(), seed in 0u64..1000) {
+        let a = Simulator::new(plan.clone(), physics(0.8), seed).run_slots(500);
+        let b = Simulator::new(plan, physics(0.8), seed).run_slots(500);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn users_are_the_non_switch_endpoints(plan in arb_tree_plan()) {
+        let users = plan.users();
+        prop_assert!(users.contains(&0), "hub user always present");
+        // Sorted and deduplicated.
+        for w in users.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared machinery for the topology generators: node placement, exact-size
+//! weighted edge sampling, and connectivity repair.
+
+use qnet_graph::connectivity::{bridges, connected_components};
+use qnet_graph::{Graph, NodeId};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::point::Point;
+use crate::spec::SpatialGraph;
+
+/// Places `n` nodes uniformly at random in the square `[0, area]²`.
+pub fn place_nodes<R: Rng>(n: usize, area: f64, rng: &mut R) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..=area), rng.random_range(0.0..=area)))
+        .collect()
+}
+
+/// Samples exactly `m` distinct node pairs without replacement, where pair
+/// `(i, j)` is drawn with probability proportional to `weights[k]` (`k` in
+/// the same order as `pairs`). Zero-weight pairs are never selected unless
+/// the positive-weight pool is exhausted.
+///
+/// # Panics
+///
+/// Panics if `m > pairs.len()` or the slices disagree in length.
+pub fn sample_weighted_pairs<R: Rng>(
+    pairs: &[(usize, usize)],
+    weights: &[f64],
+    m: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    assert_eq!(pairs.len(), weights.len(), "pairs/weights length mismatch");
+    assert!(
+        m <= pairs.len(),
+        "cannot sample {m} edges from {} candidate pairs",
+        pairs.len()
+    );
+    let mut remaining: Vec<usize> = (0..pairs.len()).collect();
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let total: f64 = remaining.iter().map(|&k| weights[k]).sum();
+        let picked_pos = if total > 0.0 {
+            let mut target = rng.random_range(0.0..total);
+            let mut pos = remaining.len() - 1; // fallback for fp round-off
+            for (idx, &k) in remaining.iter().enumerate() {
+                target -= weights[k];
+                if target < 0.0 {
+                    pos = idx;
+                    break;
+                }
+            }
+            pos
+        } else {
+            // All remaining weights are zero: fall back to uniform.
+            rng.random_range(0..remaining.len())
+        };
+        let k = remaining.swap_remove(picked_pos);
+        out.push(pairs[k]);
+    }
+    out
+}
+
+/// Builds a [`SpatialGraph`] from node positions and an edge list of node
+/// index pairs; edge payloads are Euclidean lengths.
+pub fn assemble(positions: &[Point], edges: &[(usize, usize)]) -> SpatialGraph {
+    let mut g: SpatialGraph = Graph::with_capacity(positions.len(), edges.len());
+    for &p in positions {
+        g.add_node(p);
+    }
+    for &(a, b) in edges {
+        let length = positions[a].distance(positions[b]);
+        g.add_edge(NodeId::new(a), NodeId::new(b), length);
+    }
+    g
+}
+
+/// Repairs connectivity while preserving the edge count.
+///
+/// While the graph is disconnected: add the shortest absent edge joining
+/// two different components, then remove a random non-bridge edge (which
+/// exists whenever we just closed a gap in a graph with a cycle; if the
+/// graph is a forest, the added edge is kept and the count grows by one —
+/// with the paper's default of `D = 6 ≥ 2` this never happens in practice).
+pub fn ensure_connected<R: Rng>(g: SpatialGraph, rng: &mut R) -> SpatialGraph {
+    let mut g = g;
+    loop {
+        let (labels, comps) = connected_components(&g);
+        if comps <= 1 {
+            return g;
+        }
+        // Find the shortest cross-component pair.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in 0..g.node_count() {
+            for b in (a + 1)..g.node_count() {
+                if labels[a] != labels[b] {
+                    let d = g.node(NodeId::new(a)).distance(*g.node(NodeId::new(b)));
+                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                        best = Some((d, a, b));
+                    }
+                }
+            }
+        }
+        let (_, a, b) = best.expect("disconnected graph has a cross pair");
+
+        // Remove one random non-bridge edge to keep |E| constant, but never
+        // one we cannot afford (a forest keeps all edges).
+        let bridge_set: std::collections::HashSet<_> = bridges(&g).into_iter().collect();
+        let removable: Vec<_> = g
+            .edge_ids()
+            .filter(|e| !bridge_set.contains(e))
+            .collect();
+        let to_remove = removable.choose(rng).copied();
+
+        let mut next: SpatialGraph =
+            Graph::with_capacity(g.node_count(), g.edge_count() + 1);
+        for n in g.node_ids() {
+            next.add_node(*g.node(n));
+        }
+        for e in g.edge_refs() {
+            if Some(e.id) != to_remove {
+                next.add_edge(e.a, e.b, *e.payload);
+            }
+        }
+        let (na, nb) = (NodeId::new(a), NodeId::new(b));
+        let length = next.node(na).distance(*next.node(nb));
+        next.add_edge(na, nb, length);
+        g = next;
+    }
+}
+
+/// All unordered node pairs `(i, j)`, `i < j`, for `n` nodes.
+pub fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_graph::connectivity::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn place_nodes_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = place_nodes(100, 10_000.0, &mut rng);
+        assert_eq!(pts.len(), 100);
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=10_000.0).contains(&p.x) && (0.0..=10_000.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn weighted_sampling_exact_count_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pairs = all_pairs(10);
+        let weights = vec![1.0; pairs.len()];
+        let picked = sample_weighted_pairs(&pairs, &weights, 20, &mut rng);
+        assert_eq!(picked.len(), 20);
+        let mut sorted = picked.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "no duplicate pairs");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = vec![(0, 1), (0, 2), (1, 2)];
+        let weights = vec![1000.0, 0.0001, 0.0001];
+        let mut hits = 0;
+        for _ in 0..100 {
+            let picked = sample_weighted_pairs(&pairs, &weights, 1, &mut rng);
+            if picked[0] == (0, 1) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 95, "heavy pair picked {hits}/100 times");
+    }
+
+    #[test]
+    fn weighted_sampling_zero_weights_fall_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pairs = all_pairs(5);
+        let weights = vec![0.0; pairs.len()];
+        let picked = sample_weighted_pairs(&pairs, &weights, pairs.len(), &mut rng);
+        assert_eq!(picked.len(), pairs.len());
+    }
+
+    #[test]
+    fn assemble_sets_lengths() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let g = assemble(&pts, &[(0, 1)]);
+        let e = g.edge_ids().next().unwrap();
+        assert_eq!(*g.edge(e).payload, 5.0);
+    }
+
+    #[test]
+    fn ensure_connected_repairs_and_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Two separate triangles.
+        let pts: Vec<Point> = (0..6)
+            .map(|i| Point::new(i as f64 * 100.0, if i < 3 { 0.0 } else { 5000.0 }))
+            .collect();
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let g = assemble(&pts, &edges);
+        assert!(!is_connected(&g));
+        let repaired = ensure_connected(g, &mut rng);
+        assert!(is_connected(&repaired));
+        assert_eq!(repaired.edge_count(), 6);
+    }
+
+    #[test]
+    fn ensure_connected_noop_when_connected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let g = assemble(&pts, &[(0, 1)]);
+        let repaired = ensure_connected(g, &mut rng);
+        assert_eq!(repaired.edge_count(), 1);
+    }
+
+    #[test]
+    fn all_pairs_count() {
+        assert_eq!(all_pairs(5).len(), 10);
+        assert!(all_pairs(1).is_empty());
+    }
+}

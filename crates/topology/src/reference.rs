@@ -1,0 +1,148 @@
+//! Reference real-world topologies.
+//!
+//! The paper evaluates on synthetic random graphs; real deployments run
+//! over historical backbone shapes. This module ships an approximate
+//! **NSFNET T1** backbone (14 nodes, 21 links) with planar coordinates
+//! derived from the member cities' geography (1 unit ≈ 1 km, equirect-
+//! angular projection) — a standard reference instance in optical- and
+//! quantum-network papers, useful for examples and regression tests that
+//! want a fixed, meaningful topology instead of a random one.
+
+use qnet_graph::{Graph, NodeId};
+
+use crate::point::Point;
+use crate::spec::SpatialGraph;
+
+/// One named site of a reference topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Site {
+    /// Human-readable city name.
+    pub name: &'static str,
+    /// Planar position (km).
+    pub position: Point,
+}
+
+/// (latitude, longitude) → planar km, equirectangular around the US.
+const fn km(lat: f64, lon: f64) -> Point {
+    // x: degrees east of 125°W at ~87 km/deg (cos 38° · 111 km);
+    // y: degrees north of 25°N at 111 km/deg.
+    Point::new((lon + 125.0) * 87.0, (lat - 25.0) * 111.0)
+}
+
+/// The 14 NSFNET sites with approximate coordinates.
+pub const NSFNET_SITES: [Site; 14] = [
+    Site { name: "Seattle", position: km(47.6, -122.3) },
+    Site { name: "Palo Alto", position: km(37.4, -122.1) },
+    Site { name: "San Diego", position: km(32.7, -117.2) },
+    Site { name: "Salt Lake City", position: km(40.8, -111.9) },
+    Site { name: "Boulder", position: km(40.0, -105.3) },
+    Site { name: "Lincoln", position: km(40.8, -96.7) },
+    Site { name: "Champaign", position: km(40.1, -88.2) },
+    Site { name: "Houston", position: km(29.8, -95.4) },
+    Site { name: "Ann Arbor", position: km(42.3, -83.7) },
+    Site { name: "Pittsburgh", position: km(40.4, -80.0) },
+    Site { name: "Ithaca", position: km(42.4, -76.5) },
+    Site { name: "College Park", position: km(39.0, -76.9) },
+    Site { name: "Princeton", position: km(40.4, -74.7) },
+    Site { name: "Atlanta", position: km(33.7, -84.4) },
+];
+
+/// The 21 NSFNET T1 links (site indices into [`NSFNET_SITES`]).
+pub const NSFNET_LINKS: [(usize, usize); 21] = [
+    (0, 1),
+    (0, 2),
+    (0, 7),
+    (1, 2),
+    (1, 3),
+    (2, 5),
+    (3, 4),
+    (3, 10),
+    (4, 5),
+    (4, 6),
+    (5, 9),
+    (5, 13),
+    (6, 7),
+    (6, 9),
+    (7, 8),
+    (8, 9),
+    (8, 11),
+    (8, 12),
+    (10, 11),
+    (10, 13),
+    (11, 12),
+];
+
+/// Builds the NSFNET backbone as a [`SpatialGraph`]: node payloads are
+/// positions, edge payloads are great-circle-ish planar lengths in km.
+///
+/// # Example
+///
+/// ```
+/// use qnet_topology::reference::nsfnet;
+/// let g = nsfnet();
+/// assert_eq!(g.node_count(), 14);
+/// assert_eq!(g.edge_count(), 21);
+/// ```
+pub fn nsfnet() -> SpatialGraph {
+    let mut g: SpatialGraph = Graph::with_capacity(NSFNET_SITES.len(), NSFNET_LINKS.len());
+    for site in NSFNET_SITES {
+        g.add_node(site.position);
+    }
+    for (a, b) in NSFNET_LINKS {
+        let length = NSFNET_SITES[a].position.distance(NSFNET_SITES[b].position);
+        g.add_edge(NodeId::new(a), NodeId::new(b), length);
+    }
+    g
+}
+
+/// Name of NSFNET site `i` (panics when out of range).
+pub fn nsfnet_name(node: NodeId) -> &'static str {
+    NSFNET_SITES[node.index()].name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_graph::connectivity::{bridges, is_connected};
+
+    #[test]
+    fn shape_is_14_nodes_21_links() {
+        let g = nsfnet();
+        assert_eq!(g.node_count(), 14);
+        assert_eq!(g.edge_count(), 21);
+        assert!(is_connected(&g));
+        assert!((g.average_degree() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_lengths_are_plausible_km() {
+        let g = nsfnet();
+        for e in g.edge_refs() {
+            let len = *e.payload;
+            assert!(
+                (100.0..5000.0).contains(&len),
+                "{} – {}: {len} km is not plausible",
+                nsfnet_name(e.a),
+                nsfnet_name(e.b)
+            );
+        }
+        // Seattle–Palo Alto ≈ 1130 km (planar approximation tolerant).
+        let e = g
+            .find_edge(NodeId::new(0), NodeId::new(1))
+            .expect("Seattle–Palo Alto link");
+        let len = *g.edge(e).payload;
+        assert!((900.0..1400.0).contains(&len), "got {len}");
+    }
+
+    #[test]
+    fn backbone_is_two_connected() {
+        // The real NSFNET was designed without single points of failure.
+        assert!(bridges(&nsfnet()).is_empty());
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(nsfnet_name(NodeId::new(0)), "Seattle");
+        assert_eq!(nsfnet_name(NodeId::new(13)), "Atlanta");
+    }
+}

@@ -1,0 +1,184 @@
+//! Watts–Strogatz small-world generator (Watts & Strogatz, Nature 1998),
+//! adapted to spatial placement.
+//!
+//! Nodes are placed uniformly at random in the area, ordered around their
+//! centroid by angle (so "ring neighbors" are spatially coherent), wired as
+//! a ring lattice where each node connects to its `k` nearest ring
+//! neighbors, and each lattice edge is rewired to a random endpoint with
+//! probability `p_rewire`. The edge count is exactly `n·k/2`, so choosing
+//! `k = D` hits the paper's average-degree target exactly.
+
+use rand::Rng;
+
+use crate::builder::{assemble, ensure_connected, place_nodes};
+use crate::spec::SpatialGraph;
+
+/// Watts–Strogatz parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WattsStrogatzParams {
+    /// Rewiring probability (classic value 0.1).
+    pub p_rewire: f64,
+}
+
+impl Default for WattsStrogatzParams {
+    fn default() -> Self {
+        WattsStrogatzParams { p_rewire: 0.1 }
+    }
+}
+
+/// Generates a connected Watts–Strogatz graph with `n` spatially placed
+/// nodes and ring degree `k` (must be even and `< n`), i.e. exactly
+/// `n·k/2` edges.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `n < 3`.
+pub fn watts_strogatz<R: Rng>(
+    n: usize,
+    k: usize,
+    area: f64,
+    params: WattsStrogatzParams,
+    rng: &mut R,
+) -> SpatialGraph {
+    assert!(n >= 3, "need at least three nodes, got {n}");
+    assert!(k % 2 == 0, "ring degree k must be even, got {k}");
+    assert!(k < n, "ring degree k = {k} must be < n = {n}");
+    assert!(
+        (0.0..=1.0).contains(&params.p_rewire),
+        "p_rewire must be a probability, got {}",
+        params.p_rewire
+    );
+
+    let positions = place_nodes(n, area, rng);
+
+    // Order nodes around the centroid so lattice neighbors are nearby.
+    let center = crate::point::centroid(&positions);
+    let mut ring: Vec<usize> = (0..n).collect();
+    ring.sort_by(|&a, &b| {
+        positions[a]
+            .angle_around(center)
+            .partial_cmp(&positions[b].angle_around(center))
+            .expect("angles are never NaN")
+    });
+
+    // Ring lattice: node i connects to i+1 .. i+k/2 (mod n) along the ring.
+    let mut edge_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+    let key = |a: usize, b: usize| (a.min(b), a.max(b));
+    for i in 0..n {
+        for offset in 1..=(k / 2) {
+            let (a, b) = (ring[i], ring[(i + offset) % n]);
+            if edge_set.insert(key(a, b)) {
+                edges.push((a, b));
+            }
+        }
+    }
+
+    // Rewire: with probability p, replace edge (a, b) by (a, random c).
+    for idx in 0..edges.len() {
+        if !rng.random_bool(params.p_rewire) {
+            continue;
+        }
+        let (a, b) = edges[idx];
+        // Draw a replacement endpoint avoiding self-loops and duplicates.
+        let mut attempts = 0;
+        loop {
+            let c = rng.random_range(0..n);
+            attempts += 1;
+            if attempts > 4 * n {
+                break; // saturated neighborhood: keep the original edge
+            }
+            if c == a || edge_set.contains(&key(a, c)) {
+                continue;
+            }
+            edge_set.remove(&key(a, b));
+            edge_set.insert(key(a, c));
+            edges[idx] = (a, c);
+            break;
+        }
+    }
+
+    let g = assemble(&positions, &edges);
+    ensure_connected(g, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnet_graph::connectivity::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let g = watts_strogatz(60, 6, 10_000.0, WattsStrogatzParams::default(), &mut rng);
+        assert_eq!(g.node_count(), 60);
+        assert_eq!(g.edge_count(), 180);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn zero_rewire_is_a_lattice() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = watts_strogatz(
+            20,
+            4,
+            1000.0,
+            WattsStrogatzParams { p_rewire: 0.0 },
+            &mut rng,
+        );
+        // Every node has exactly degree 4 in the pure lattice.
+        for v in g.node_ids() {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn full_rewire_still_exact_count() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = watts_strogatz(
+            30,
+            4,
+            1000.0,
+            WattsStrogatzParams { p_rewire: 1.0 },
+            &mut rng,
+        );
+        assert_eq!(g.edge_count(), 60);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        watts_strogatz(10, 3, 100.0, WattsStrogatzParams::default(), &mut rng);
+    }
+
+    #[test]
+    fn rewiring_shortens_diameter_on_average() {
+        // Small-world effect: p = 0.1 must not *increase* typical path
+        // length relative to the pure ring lattice.
+        fn mean_hops(p: f64) -> f64 {
+            use qnet_graph::paths::bfs_path;
+            let mut total = 0.0;
+            let mut count = 0;
+            for seed in 0..5u64 {
+                let mut rng = StdRng::seed_from_u64(100 + seed);
+                let g = watts_strogatz(40, 4, 1000.0, WattsStrogatzParams { p_rewire: p }, &mut rng);
+                for t in 1..g.node_count() {
+                    if let Some(path) = bfs_path(
+                        &g,
+                        qnet_graph::NodeId::new(0),
+                        qnet_graph::NodeId::new(t),
+                    ) {
+                        total += path.len() as f64;
+                        count += 1;
+                    }
+                }
+            }
+            total / count as f64
+        }
+        assert!(mean_hops(0.3) < mean_hops(0.0));
+    }
+}

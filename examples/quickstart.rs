@@ -1,0 +1,76 @@
+//! Quickstart: build the paper's default quantum internet and compare all
+//! five routing algorithms on it.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use muerp::core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §V-A default: 50 switches + 10 users placed in a
+    // 10 000 × 10 000 km area, Waxman wiring with average degree 6,
+    // 4 qubits per switch, q = 0.9, α = 1e-4.
+    let spec = NetworkSpec::paper_default();
+    let net = spec.build(2024);
+
+    println!(
+        "Network: {} users, {} switches, {} fibers (avg degree {:.1})",
+        net.user_count(),
+        net.switch_count(),
+        net.graph().edge_count(),
+        net.graph().average_degree()
+    );
+    println!(
+        "Physics: q = {}, α = {:e}\n",
+        net.physics().swap_success,
+        net.physics().attenuation
+    );
+
+    // Algorithm 2 runs on a capacity-granted copy (Q = 2·|U|), exactly as
+    // the paper's evaluation protocol prescribes.
+    let granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
+
+    let report = |name: &str, outcome: Result<Solution, RoutingError>, net: &QuantumNetwork| {
+        match outcome {
+            Ok(sol) => {
+                validate_solution(net, &sol).expect("algorithms emit valid solutions");
+                let longest = sol
+                    .channels
+                    .iter()
+                    .map(|c| c.link_count())
+                    .max()
+                    .unwrap_or(0);
+                println!(
+                    "{name:<10} rate = {:<12} channels = {} (longest {longest} links)",
+                    sol.rate.to_string(),
+                    sol.channels.len(),
+                );
+            }
+            Err(e) => println!("{name:<10} rate = 0 ({e})"),
+        }
+    };
+
+    report("Alg-2", OptimalSufficient.solve(&granted), &granted);
+    report("Alg-3", ConflictFree::default().solve(&net), &net);
+    report("Alg-4", PrimBased::with_seed(2024).solve(&net), &net);
+    report("N-Fusion", NFusion::default().solve(&net), &net);
+    report("E-Q-CAST", EQCast.solve(&net), &net);
+
+    // Show one concrete entanglement tree.
+    if let Ok(sol) = ConflictFree::default().solve(&net) {
+        println!("\nAlg-3 entanglement tree:");
+        for c in &sol.channels {
+            let hops: Vec<String> = c.path.nodes.iter().map(|n| n.to_string()).collect();
+            println!(
+                "  {} ↔ {}  via [{}]  rate {}",
+                c.source(),
+                c.destination(),
+                hops.join(" - "),
+                c.rate
+            );
+        }
+        println!("  tree rate (Eq. 2): {}", sol.rate);
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Facade crate for the MUERP reproduction (ICDCS 2024).
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate ([`qnet_graph`])
+//! * [`topology`] — random network generators ([`qnet_topology`])
+//! * [`sim`] — Monte-Carlo physical-layer simulator ([`qnet_sim`])
+//! * [`core`] — the paper's algorithms and model ([`muerp_core`])
+//! * [`experiments`] — figure-reproduction harness ([`muerp_experiments`])
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use muerp::core::prelude::*;
+//!
+//! let net = NetworkSpec::paper_default().build(42);
+//! if let Ok(solution) = PrimBased::default().solve(&net) {
+//!     validate_solution(&net, &solution)?;
+//!     println!("entanglement rate: {}", solution.rate);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use muerp_core as core;
+pub use muerp_experiments as experiments;
+pub use qnet_graph as graph;
+pub use qnet_sim as sim;
+pub use qnet_topology as topology;
+
+pub mod bridge;

@@ -1,0 +1,167 @@
+//! Integration tests for the paper's two named extensions, exercised
+//! through the public facade.
+
+use muerp::core::extensions::{
+    route_groups, FidelityAwarePrim, FidelityModel, GroupStrategy,
+};
+use muerp::core::prelude::*;
+use muerp::sim::fidelity::chain_fidelity;
+
+#[test]
+fn fidelity_floor_is_enforced_end_to_end() {
+    let model = FidelityModel {
+        link_fidelity: 0.99,
+        min_fidelity: 0.96,
+    };
+    let hop_bound = model.max_links().expect("achievable floor");
+    let mut solved = 0;
+    for seed in 0..8u64 {
+        let net = NetworkSpec::paper_default().build(seed);
+        let Ok(sol) = (FidelityAwarePrim { model }).solve(&net) else {
+            continue;
+        };
+        solved += 1;
+        validate_solution(&net, &sol).unwrap();
+        for c in &sol.channels {
+            assert!(c.link_count() <= hop_bound, "hop bound violated");
+            let f = chain_fidelity(model.link_fidelity, c.link_count());
+            assert!(f >= model.min_fidelity - 1e-12, "fidelity {f} below floor");
+        }
+    }
+    assert!(solved > 0, "the floor should be achievable on some seeds");
+}
+
+#[test]
+fn impossible_floor_fails_cleanly() {
+    let model = FidelityModel {
+        link_fidelity: 0.8,
+        min_fidelity: 0.95,
+    };
+    let net = NetworkSpec::paper_default().build(3);
+    assert!(FidelityAwarePrim { model }.solve(&net).is_err());
+}
+
+#[test]
+fn concurrent_groups_share_the_network_consistently() {
+    for seed in 0..5u64 {
+        let mut spec = NetworkSpec::paper_default();
+        spec.topology.nodes = 62;
+        spec.users = 12;
+        let net = spec.build(seed);
+        let users = net.users();
+        let groups = [users[..4].to_vec(), users[4..8].to_vec(), users[8..].to_vec()];
+        for strategy in [GroupStrategy::Sequential, GroupStrategy::RoundRobin] {
+            let outcomes = route_groups(&net, &groups, strategy);
+            assert_eq!(outcomes.len(), 3);
+            // Shared capacity must hold across ALL groups together.
+            let mut demand: std::collections::HashMap<_, u32> = Default::default();
+            for o in &outcomes {
+                if let Ok(tree) = &o.tree {
+                    assert_eq!(tree.channels.len(), o.members.len() - 1);
+                    for (s, d) in tree.qubit_demand() {
+                        *demand.entry(s).or_default() += d;
+                    }
+                }
+            }
+            for (s, d) in demand {
+                assert!(
+                    d <= net.kind(s).qubits(),
+                    "seed {seed} {strategy:?}: switch {s} overbooked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_group_total_rate_trades_off_against_single_group() {
+    // Splitting the same 10 users into two groups of 5 yields two trees
+    // whose combined channel count (8) is lower than the single tree's
+    // (9) — and the per-group products must each upper-bound the full
+    // group's rate (fewer factors, feasibility permitting).
+    let net = NetworkSpec::paper_default().build(9);
+    let users = net.users();
+    let whole = route_groups(&net, &[users.to_vec()], GroupStrategy::Sequential);
+    let split = route_groups(
+        &net,
+        &[users[..5].to_vec(), users[5..].to_vec()],
+        GroupStrategy::Sequential,
+    );
+    if let (Ok(w), Ok(a), Ok(b)) = (&whole[0].tree, &split[0].tree, &split[1].tree) {
+        assert_eq!(w.channels.len(), 9);
+        assert_eq!(a.channels.len() + b.channels.len(), 8);
+        assert!(a.rate().value() >= w.rate().value());
+    }
+}
+
+#[test]
+fn purification_arithmetic_agrees_with_sim_crate() {
+    // muerp-core's purified routing and qnet-sim's BBPSSW must implement
+    // the same recurrence.
+    use muerp::core::extensions::{purification_plan, FidelityModel};
+    use muerp::core::rate::Rate;
+    use muerp::sim::fidelity::{purify, rounds_to_reach};
+
+    let model = FidelityModel {
+        link_fidelity: 0.97,
+        min_fidelity: 0.96,
+    };
+    for links in 2..6usize {
+        let raw_f = muerp::sim::fidelity::chain_fidelity(0.97, links);
+        let plan = purification_plan(model, links, Rate::from_prob(0.5));
+        let sim_rounds = rounds_to_reach(raw_f, 0.96);
+        match (plan, sim_rounds) {
+            (Some(p), Some(r)) => {
+                assert_eq!(p.rounds, r, "links {links}");
+                // Replay the fidelity recurrence through qnet-sim.
+                let mut f = raw_f;
+                for _ in 0..r {
+                    f = purify(f).fidelity;
+                }
+                assert!(
+                    (p.delivered_fidelity - f).abs() < 1e-12,
+                    "links {links}: {} vs {}",
+                    p.delivered_fidelity,
+                    f
+                );
+            }
+            (None, None) => {}
+            other => panic!("links {links}: crates disagree: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn purified_routing_end_to_end() {
+    use muerp::core::extensions::{FidelityModel, PurifiedPrim};
+    let model = FidelityModel {
+        link_fidelity: 0.97,
+        min_fidelity: 0.95,
+    };
+    let mut solved = 0;
+    for seed in 0..6u64 {
+        let net = NetworkSpec::paper_default().build(seed);
+        if let Ok(sol) = (PurifiedPrim { model }).solve(&net) {
+            solved += 1;
+            assert_eq!(sol.channels.len(), net.user_count() - 1);
+            assert!(sol.rate.value() > 0.0 && sol.rate.value() <= 1.0);
+        }
+    }
+    assert!(solved > 0);
+}
+
+#[test]
+fn fidelity_model_agrees_with_sim_crate() {
+    // muerp-core's Werner arithmetic and qnet-sim's closed form must be
+    // the same function.
+    use muerp::core::extensions::werner_swap_fidelity;
+    let link = 0.97;
+    for links in 1..10 {
+        let mut folded = link;
+        for _ in 1..links {
+            folded = werner_swap_fidelity(folded, link);
+        }
+        let closed = chain_fidelity(link, links);
+        assert!((folded - closed).abs() < 1e-12);
+    }
+}

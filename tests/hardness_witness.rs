@@ -1,0 +1,153 @@
+//! Witnesses of the paper's §III hardness results on concrete instances:
+//!
+//! * Theorem 1's reduction artifact: capacity turns classic connectivity
+//!   into infeasibility (degree-constrained spanning tree flavor).
+//! * Theorem 2's consequence: the polynomial heuristics are *strictly*
+//!   suboptimal on a crafted instance where the exhaustive oracle does
+//!   better — if the greedy choices were always optimal, MUERP would be
+//!   in P.
+
+use muerp::core::feasibility::{exhaustive_optimal, is_feasible_exhaustive};
+use muerp::core::model::{NodeKind, PhysicsParams};
+use muerp::core::prelude::*;
+use muerp::graph::{Graph, NodeId};
+
+/// The trap: a 2-qubit hub offers the best channels for two user pairs
+/// but can serve only one; the greedy methods grab the best pair through
+/// the hub and strand the other pair on a terrible detour, while the
+/// optimum routes the *second-best* pair through the hub and the other
+/// pair over a decent detour.
+fn trap_instance() -> (QuantumNetwork, [NodeId; 3]) {
+    let mut g: Graph<NodeKind, f64> = Graph::new();
+    let u1 = g.add_node(NodeKind::User);
+    let u2 = g.add_node(NodeKind::User);
+    let u3 = g.add_node(NodeKind::User);
+    let hub = g.add_node(NodeKind::Switch { qubits: 2 });
+    let d12 = g.add_node(NodeKind::Switch { qubits: 2 }); // decent detour u1–u2
+    let d13 = g.add_node(NodeKind::Switch { qubits: 2 }); // awful detour u1–u3
+    g.add_edge(u1, hub, 500.0);
+    g.add_edge(hub, u2, 500.0); // u1-hub-u2: q·e^{-0.10} ≈ 0.8143 (best u1u2)
+    g.add_edge(hub, u3, 600.0); // u1-hub-u3: q·e^{-0.11} ≈ 0.8063
+    g.add_edge(u1, d12, 600.0);
+    g.add_edge(d12, u2, 600.0); // u1-d12-u2: q·e^{-0.12} ≈ 0.7982
+    g.add_edge(u1, d13, 5000.0);
+    g.add_edge(d13, u3, 5000.0); // u1-d13-u3: q·e^{-1.00} ≈ 0.3311
+    (
+        QuantumNetwork::from_graph(g, PhysicsParams::paper_default()),
+        [u1, u2, u3],
+    )
+}
+
+#[test]
+fn greedy_heuristics_are_strictly_suboptimal_on_the_trap() {
+    let (net, _) = trap_instance();
+    let oracle = exhaustive_optimal(&net, 4).expect("feasible");
+    let best = oracle.rate().value();
+    // Optimal keeps u1-hub-u3 and routes u1-d12-u2: ≈ 0.8063 × 0.7982.
+    let expected = 0.9 * (-0.11f64).exp() * 0.9 * (-0.12f64).exp();
+    assert!((best - expected).abs() < 1e-9, "oracle rate {best}");
+
+    let a3 = ConflictFree::default().solve(&net).expect("alg-3 finds a tree");
+    let a4 = PrimBased::default().solve(&net).expect("alg-4 finds a tree");
+    // Both greedy methods fall into the trap: ≈ 0.8143 × 0.3311.
+    let trapped = 0.9 * (-0.10f64).exp() * 0.9 * (-1.0f64).exp();
+    for (name, sol) in [("Alg-3", &a3), ("Alg-4", &a4)] {
+        validate_solution(&net, sol).unwrap();
+        assert!(
+            (sol.rate.value() - trapped).abs() < 1e-9,
+            "{name} rate {} (expected the trapped {trapped})",
+            sol.rate.value()
+        );
+        assert!(
+            sol.rate.value() < best * 0.75,
+            "{name} should be >25% below optimal here"
+        );
+    }
+}
+
+#[test]
+fn the_chain_baseline_fails_entirely_on_the_trap() {
+    // E-Q-CAST in user order (u1, u2, u3) routes u1–u2 through the hub,
+    // then cannot reach u3 at all from u2.
+    let (net, _) = trap_instance();
+    assert!(matches!(
+        EQCast.solve(&net),
+        Err(RoutingError::NoFeasibleChannel { .. })
+    ));
+}
+
+#[test]
+fn capacity_is_the_complexity_source() {
+    // Same instance with the hub upgraded to 4 qubits: every method
+    // recovers the optimum; the hardness came from the capacity bound,
+    // exactly the parameter the Theorem-1 reduction controls.
+    let (net, _) = trap_instance();
+    let mut g = net.graph().clone();
+    let hub = net
+        .switches()
+        .find(|&s| net.graph().degree(s) == 3)
+        .expect("the hub has degree 3");
+    *g.node_mut(hub) = NodeKind::Switch { qubits: 4 };
+    let net = QuantumNetwork::from_graph(g, *net.physics());
+
+    let oracle = exhaustive_optimal(&net, 4).unwrap().rate().value();
+    for (name, sol) in [
+        ("Alg-3", ConflictFree::default().solve(&net).unwrap()),
+        ("Alg-4", PrimBased::default().solve(&net).unwrap()),
+    ] {
+        assert!(
+            (sol.rate.value() - oracle).abs() <= 1e-9 * oracle,
+            "{name}: {} vs oracle {oracle}",
+            sol.rate.value()
+        );
+    }
+}
+
+#[test]
+fn degree_constrained_spanning_tree_reduction_shape() {
+    // Theorem 1 reduces DCSTP to E-MUERP by making every vertex a user
+    // with a qubit budget. Emulate the correspondence on a star-plus-ring
+    // instance: with "degree bound" (hub capacity) 2 the instance with
+    // only hub edges is infeasible, while adding ring edges restores
+    // feasibility — mirroring DCSTP where the ring provides the
+    // degree-respecting tree.
+    let build = |with_ring: bool| {
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let users: Vec<NodeId> = (0..4).map(|_| g.add_node(NodeKind::User)).collect();
+        let hub = g.add_node(NodeKind::Switch { qubits: 2 });
+        for &u in &users {
+            g.add_edge(u, hub, 400.0);
+        }
+        if with_ring {
+            for w in users.windows(2) {
+                g.add_edge(w[0], w[1], 2000.0);
+            }
+        }
+        QuantumNetwork::from_graph(g, PhysicsParams::paper_default())
+    };
+    assert!(!is_feasible_exhaustive(&build(false), 4));
+    assert!(is_feasible_exhaustive(&build(true), 4));
+}
+
+#[test]
+fn oracle_scales_to_five_users() {
+    // Sanity: the oracle remains usable at |U| = 5 on a small mesh and
+    // agrees with Algorithm 2 when capacity is sufficient.
+    let mut g: Graph<NodeKind, f64> = Graph::new();
+    let users: Vec<NodeId> = (0..5).map(|_| g.add_node(NodeKind::User)).collect();
+    let switches: Vec<NodeId> = (0..3)
+        .map(|_| g.add_node(NodeKind::Switch { qubits: 10 }))
+        .collect();
+    for (i, &u) in users.iter().enumerate() {
+        g.add_edge(u, switches[i % 3], 700.0 + 37.0 * i as f64);
+    }
+    g.add_edge(switches[0], switches[1], 900.0);
+    g.add_edge(switches[1], switches[2], 950.0);
+    let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
+    let oracle = exhaustive_optimal(&net, 6).expect("feasible").rate().value();
+    let alg2 = OptimalSufficient.solve(&net).unwrap().rate.value();
+    assert!(
+        (oracle - alg2).abs() <= 1e-9 * oracle,
+        "oracle {oracle} vs alg2 {alg2}"
+    );
+}
