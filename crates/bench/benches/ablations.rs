@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use muerp_bench::scaled_network;
-use muerp_core::algorithms::{ConflictFree, PrimBased, SeedChoice};
 use muerp_core::algorithms::RetentionPolicy;
+use muerp_core::algorithms::{ConflictFree, PrimBased, SeedChoice};
 use muerp_core::extensions::{FidelityAwarePrim, FidelityModel};
 use muerp_core::prelude::*;
 
@@ -29,14 +29,15 @@ fn bench_retention_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg3_retention");
     for (label, retention) in [
         ("max_rate_first", RetentionPolicy::MaxRateFirst),
-        ("fewest_switches_first", RetentionPolicy::FewestSwitchesFirst),
+        (
+            "fewest_switches_first",
+            RetentionPolicy::FewestSwitchesFirst,
+        ),
     ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(label),
             &retention,
-            |b, &retention| {
-                b.iter(|| std::hint::black_box(ConflictFree { retention }.solve(&net)))
-            },
+            |b, &retention| b.iter(|| std::hint::black_box(ConflictFree { retention }.solve(&net))),
         );
     }
     group.finish();

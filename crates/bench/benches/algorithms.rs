@@ -43,13 +43,9 @@ fn bench_algorithm1(c: &mut Criterion) {
         let net = scaled_network(switches, 7);
         let cap = CapacityMap::new(&net);
         let users = net.users().to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("single_pair", switches),
-            &net,
-            |b, n| {
-                b.iter(|| std::hint::black_box(max_rate_channel(n, &cap, users[0], users[1])))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("single_pair", switches), &net, |b, n| {
+            b.iter(|| std::hint::black_box(max_rate_channel(n, &cap, users[0], users[1])))
+        });
         group.bench_with_input(
             BenchmarkId::new("single_source_all_users", switches),
             &net,

@@ -16,11 +16,9 @@ fn bench_topology_generation(c: &mut Criterion) {
                 avg_degree: 6.0,
                 area: 10_000.0,
             };
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), nodes),
-                &spec,
-                |b, spec| b.iter(|| std::hint::black_box(spec.generate(5))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &spec, |b, spec| {
+                b.iter(|| std::hint::black_box(spec.generate(5)))
+            });
         }
     }
     group.finish();
@@ -150,11 +148,7 @@ fn bench_graph_construction(c: &mut Criterion) {
                 g.add_node(());
             }
             for i in 0..180usize {
-                g.add_edge(
-                    NodeId::new(i % 60),
-                    NodeId::new((i * 7 + 1) % 60),
-                    i as f64,
-                );
+                g.add_edge(NodeId::new(i % 60), NodeId::new((i * 7 + 1) % 60), i as f64);
             }
             std::hint::black_box(g.edge_count())
         })

@@ -45,6 +45,8 @@ impl RoutingAlgorithm for EQCast {
     }
 
     fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.e_q_cast.solve");
+        qnet_obs::counter!("core.e_q_cast.solves");
         let users = net.users();
         if users.len() < 2 {
             return Err(RoutingError::TooFewUsers { got: users.len() });
@@ -100,7 +102,8 @@ mod tests {
         let mut total = 0;
         for seed in 0..20 {
             let net = NetworkSpec::paper_default().build(seed);
-            let (Ok(qcast), Ok(alg3)) = (EQCast.solve(&net), ConflictFree::default().solve(&net)) else {
+            let (Ok(qcast), Ok(alg3)) = (EQCast.solve(&net), ConflictFree::default().solve(&net))
+            else {
                 continue;
             };
             total += 1;

@@ -117,8 +117,11 @@ impl NFusion {
             // qubits when those are pledged to incoming holds: interior
             // visits cost 2 qubits that must coexist with the holds.
             if !is_user_center {
-                let interior_at_center =
-                    c.interior_switches().iter().filter(|&&s| s == center).count();
+                let interior_at_center = c
+                    .interior_switches()
+                    .iter()
+                    .filter(|&&s| s == center)
+                    .count();
                 debug_assert_eq!(interior_at_center, 0, "center is the path endpoint");
             }
             capacity.reserve(&c);
@@ -158,6 +161,8 @@ impl RoutingAlgorithm for NFusion {
     }
 
     fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.n_fusion.solve");
+        qnet_obs::counter!("core.n_fusion.solves");
         let users = net.users();
         if users.len() < 2 {
             return Err(RoutingError::TooFewUsers { got: users.len() });
@@ -165,7 +170,7 @@ impl RoutingAlgorithm for NFusion {
         let mut best: Option<Solution> = None;
         for center in net.graph().node_ids() {
             if let Some(sol) = self.try_center(net, center) {
-                if best.as_ref().map_or(true, |b| sol.rate > b.rate) {
+                if best.as_ref().is_none_or(|b| sol.rate > b.rate) {
                     best = Some(sol);
                 }
             }
@@ -260,7 +265,10 @@ mod tests {
         let mut both = 0;
         for seed in 0..20 {
             let net = NetworkSpec::paper_default().build(seed);
-            if let (Ok(f), Ok(t)) = (NFusion::default().solve(&net), ConflictFree::default().solve(&net)) {
+            if let (Ok(f), Ok(t)) = (
+                NFusion::default().solve(&net),
+                ConflictFree::default().solve(&net),
+            ) {
                 both += 1;
                 if f.rate > t.rate {
                     fusion_wins += 1;

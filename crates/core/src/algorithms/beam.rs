@@ -35,7 +35,10 @@ impl Default for BeamSearch {
     /// Width 3, branch 3 — enough to escape 2-channel traps at roughly
     /// 9× Algorithm 4's cost.
     fn default() -> Self {
-        BeamSearch { width: 3, branch: 3 }
+        BeamSearch {
+            width: 3,
+            branch: 3,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ impl RoutingAlgorithm for BeamSearch {
         // lineage (the classic beam anomaly), so a wide beam is not
         // automatically ≥ greedy. Run the width-1 beam (== Algorithm 4
         // from the first user) and keep the better of the two.
-        let greedy_result = BeamSearch { width: 1, branch: 1 }.solve_beam(net);
+        let greedy_result = BeamSearch {
+            width: 1,
+            branch: 1,
+        }
+        .solve_beam(net);
         match (beam_result, greedy_result) {
             (Ok(b), Ok(g)) => Ok(if b.rate >= g.rate { b } else { g }),
             (Ok(b), Err(_)) => Ok(b),
@@ -75,6 +82,8 @@ impl RoutingAlgorithm for BeamSearch {
 
 impl BeamSearch {
     fn solve_beam(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.beam.solve");
+        qnet_obs::counter!("core.beam.solves");
         let users = net.users();
         if users.len() < 2 {
             return Err(RoutingError::TooFewUsers { got: users.len() });
@@ -102,7 +111,11 @@ impl BeamSearch {
                         }
                     }
                 }
-                candidates.sort_by(|a, b| b.rate.cmp(&a.rate));
+                candidates.sort_by_key(|c| std::cmp::Reverse(c.rate));
+                if candidates.len() > self.branch {
+                    qnet_obs::counter!("core.channel.rejected", reason = "width";
+                        (candidates.len() - self.branch) as u64);
+                }
                 candidates.truncate(self.branch);
                 for c in candidates {
                     let mut next = state.clone();
@@ -113,7 +126,7 @@ impl BeamSearch {
                         c.source()
                     };
                     next.in_tree[newcomer.index()] = true;
-                    next.rate = next.rate * c.rate;
+                    next.rate *= c.rate;
                     next.tree.push(c);
                     expansions.push(next);
                 }
@@ -131,7 +144,7 @@ impl BeamSearch {
             }
             // Prune to the best `width` states. Dedup by covered user set
             // keeping the best rate, so the beam holds *diverse* cuts.
-            expansions.sort_by(|a, b| b.rate.cmp(&a.rate));
+            expansions.sort_by_key(|s| std::cmp::Reverse(s.rate));
             let mut kept: Vec<State> = Vec::with_capacity(self.width);
             let mut seen_sets: Vec<Vec<bool>> = Vec::new();
             for s in expansions {
@@ -187,7 +200,11 @@ mod tests {
     fn width_one_is_exactly_prim() {
         for seed in 0..6u64 {
             let net = NetworkSpec::paper_default().build(seed);
-            let beam = BeamSearch { width: 1, branch: 1 }.solve(&net);
+            let beam = BeamSearch {
+                width: 1,
+                branch: 1,
+            }
+            .solve(&net);
             let prim = PrimBased::default().solve(&net);
             match (beam, prim) {
                 (Ok(b), Ok(p)) => {
@@ -227,12 +244,18 @@ mod tests {
         // (greedy) trajectory whenever rate pruning would have lost it.
         for seed in 0..8u64 {
             let net = NetworkSpec::paper_default().build(seed);
-            let narrow = BeamSearch { width: 1, branch: 1 }
-                .solve(&net)
-                .map_or(0.0, |s| s.rate.value());
-            let wide = BeamSearch { width: 4, branch: 3 }
-                .solve(&net)
-                .map_or(0.0, |s| s.rate.value());
+            let narrow = BeamSearch {
+                width: 1,
+                branch: 1,
+            }
+            .solve(&net)
+            .map_or(0.0, |s| s.rate.value());
+            let wide = BeamSearch {
+                width: 4,
+                branch: 3,
+            }
+            .solve(&net)
+            .map_or(0.0, |s| s.rate.value());
             assert!(
                 wide >= narrow * (1.0 - 1e-12),
                 "seed {seed}: wide beam {wide} lost to greedy {narrow}"
@@ -245,8 +268,7 @@ mod tests {
         for seed in 0..6u64 {
             let net = NetworkSpec::paper_default().build(seed);
             if let Ok(sol) = BeamSearch::default().solve(&net) {
-                validate_solution(&net, &sol)
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                validate_solution(&net, &sol).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
                 assert_eq!(sol.channels.len(), net.user_count() - 1);
             }
         }
@@ -257,7 +279,12 @@ mod tests {
         use crate::feasibility::exhaustive_optimal;
         let net = trap();
         let oracle = exhaustive_optimal(&net, 4).unwrap().rate().value();
-        let beam = BeamSearch { width: 8, branch: 5 }.solve(&net).unwrap();
+        let beam = BeamSearch {
+            width: 8,
+            branch: 5,
+        }
+        .solve(&net)
+        .unwrap();
         assert!(beam.rate.value() <= oracle * (1.0 + 1e-9));
     }
 

@@ -46,9 +46,19 @@ impl<'n> ChannelFinder<'n> {
             edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
             can_relay: {
                 let cap = capacity.clone();
-                move |v: NodeId| swaps_possible && net.kind(v).is_switch() && cap.can_relay(v)
+                move |v: NodeId| {
+                    if !(swaps_possible && net.kind(v).is_switch()) {
+                        return false;
+                    }
+                    if !cap.can_relay(v) {
+                        qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity");
+                        return false;
+                    }
+                    true
+                }
             },
         };
+        qnet_obs::counter!("core.channel.finder_runs");
         let run = dijkstra(net.graph(), source, &cfg);
         ChannelFinder { net, run }
     }
@@ -67,7 +77,11 @@ impl<'n> ChannelFinder<'n> {
         if destination == self.run.source() {
             return None;
         }
-        let path = self.run.path_to(destination)?;
+        let Some(path) = self.run.path_to(destination) else {
+            qnet_obs::counter!("core.channel.rejected", reason = "disconnected");
+            return None;
+        };
+        qnet_obs::counter!("core.channel.found");
         Some(Channel::from_path(self.net, path))
     }
 }

@@ -71,13 +71,15 @@ impl RoutingAlgorithm for ConflictFree {
     }
 
     fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.conflict_free.solve");
+        qnet_obs::counter!("core.conflict_free.solves");
         // Phase 0: Algorithm 2's unconstrained optimal tree, already in
         // descending rate order by construction; order per policy.
         let base = OptimalSufficient.solve(net)?;
         let mut seed_channels = base.channels;
         match self.retention {
             RetentionPolicy::MaxRateFirst => {
-                seed_channels.sort_by(|a, b| b.rate.cmp(&a.rate));
+                seed_channels.sort_by_key(|c| std::cmp::Reverse(c.rate));
             }
             RetentionPolicy::FewestSwitchesFirst => {
                 seed_channels.sort_by(|a, b| {
@@ -94,18 +96,27 @@ impl RoutingAlgorithm for ConflictFree {
         let mut tree = EntanglementTree::new();
 
         // Phase 1: keep whatever fits, in descending rate order.
-        for c in seed_channels {
-            if capacity.admits(&c) {
-                capacity.reserve(&c);
-                let merged = uf.union_nodes(c.source(), c.destination());
-                debug_assert!(merged, "Algorithm 2's tree is acyclic");
-                tree.push(c);
+        {
+            let _phase1 = qnet_obs::span!("core.conflict_free.admit");
+            for c in seed_channels {
+                if capacity.admits(&c) {
+                    capacity.reserve(&c);
+                    let merged = uf.union_nodes(c.source(), c.destination());
+                    debug_assert!(merged, "Algorithm 2's tree is acyclic");
+                    qnet_obs::counter!("core.conflict_free.admitted");
+                    tree.push(c);
+                } else {
+                    qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity");
+                    qnet_obs::counter!("core.conflict_free.dropped");
+                }
             }
         }
 
         // Phase 2: reconnect the unions greedily on residual capacity.
+        let _phase2 = qnet_obs::span!("core.conflict_free.reconnect");
         let users = net.users();
         while !all_connected(&mut uf, users) {
+            qnet_obs::counter!("core.conflict_free.reconnections");
             let mut best: Option<Channel> = None;
             for (i, &src) in users.iter().enumerate() {
                 // One Algorithm-1 run per source covers all destinations.
@@ -115,7 +126,7 @@ impl RoutingAlgorithm for ConflictFree {
                         continue;
                     }
                     if let Some(c) = finder.channel_to(dst) {
-                        if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                        if best.as_ref().is_none_or(|b| c.rate > b.rate) {
                             best = Some(c);
                         }
                     }
@@ -261,6 +272,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let net = NetworkSpec::paper_default().build(8);
-        assert_eq!(ConflictFree::default().solve(&net), ConflictFree::default().solve(&net));
+        assert_eq!(
+            ConflictFree::default().solve(&net),
+            ConflictFree::default().solve(&net)
+        );
     }
 }

@@ -61,10 +61,14 @@ pub fn refine(net: &QuantumNetwork, solution: Solution, options: LocalSearchOpti
     if solution.style != SolutionStyle::BsmTree {
         return solution;
     }
+    let _span = qnet_obs::span!("core.local_search.refine");
+    qnet_obs::counter!("core.local_search.refines");
     let mut tree = EntanglementTree {
         channels: solution.channels,
     };
     for _ in 0..options.max_rounds {
+        let _round = qnet_obs::span!("core.local_search.round");
+        qnet_obs::counter!("core.local_search.rounds");
         let mut improved = improve_once(net, &mut tree, 1, options.k_candidates);
         if options.pair_moves {
             improved |= improve_once(net, &mut tree, 2, options.k_candidates);
@@ -77,12 +81,7 @@ pub fn refine(net: &QuantumNetwork, solution: Solution, options: LocalSearchOpti
 }
 
 /// One scan of all `arity`-moves; `true` when any move improved the tree.
-fn improve_once(
-    net: &QuantumNetwork,
-    tree: &mut EntanglementTree,
-    arity: usize,
-    k: usize,
-) -> bool {
+fn improve_once(net: &QuantumNetwork, tree: &mut EntanglementTree, arity: usize, k: usize) -> bool {
     let n = tree.channels.len();
     if n < arity {
         return false;
@@ -117,6 +116,7 @@ fn improve_once(
                 .collect();
             channels.extend(better);
             tree.channels = channels;
+            qnet_obs::counter!("core.local_search.moves_accepted");
             improved = true;
         }
     }
@@ -167,7 +167,11 @@ fn try_move(
         components[idx].push(u);
     }
     let r = components.len();
-    debug_assert_eq!(r, removal.len() + 1, "removing e channels splits into e+1 parts");
+    debug_assert_eq!(
+        r,
+        removal.len() + 1,
+        "removing e channels splits into e+1 parts"
+    );
 
     // Candidate channels per component pair: the k best per user pair,
     // merged and truncated.
@@ -180,7 +184,7 @@ fn try_move(
                     all.extend(k_best_channels(net, &capacity, a, b, k));
                 }
             }
-            all.sort_by(|p, q| q.rate.cmp(&p.rate));
+            all.sort_by_key(|p| std::cmp::Reverse(p.rate));
             all.truncate(2 * k);
             pair_candidates[x][y] = all;
         }
@@ -230,7 +234,7 @@ fn assign_shape(
     best: &mut Option<(Rate, Vec<Channel>)>,
 ) {
     if idx == shape.len() {
-        if best.as_ref().map_or(true, |(r, _)| product > *r) {
+        if best.as_ref().is_none_or(|(r, _)| product > *r) {
             *best = Some((product, chosen.clone()));
         }
         return;
@@ -242,7 +246,15 @@ fn assign_shape(
         }
         capacity.reserve(c);
         chosen.push(c.clone());
-        assign_shape(candidates, shape, idx + 1, capacity, chosen, product * c.rate, best);
+        assign_shape(
+            candidates,
+            shape,
+            idx + 1,
+            capacity,
+            chosen,
+            product * c.rate,
+            best,
+        );
         let c = chosen.pop().expect("just pushed");
         capacity.release(&c);
     }
@@ -338,8 +350,7 @@ mod tests {
             ] {
                 let Ok(base) = base else { continue };
                 let refined = refine(&net, base.clone(), LocalSearchOptions::default());
-                validate_solution(&net, &refined)
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                validate_solution(&net, &refined).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
                 assert!(
                     refined.rate.value() >= base.rate.value() * (1.0 - 1e-12),
                     "seed {seed}: refinement decreased the rate"

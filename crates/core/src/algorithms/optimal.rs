@@ -33,6 +33,7 @@ use super::channel_finder::ChannelFinder;
 /// Channels are computed against the *static* capacity map (a switch must
 /// merely own ≥ 2 qubits to appear as a relay); nothing is reserved.
 pub fn all_pairs_best_channels(net: &QuantumNetwork, capacity: &CapacityMap) -> Vec<Channel> {
+    let _span = qnet_obs::span!("core.optimal.all_pairs");
     let users = net.users();
     let mut channels = Vec::with_capacity(users.len() * (users.len().saturating_sub(1)) / 2);
     for (i, &src) in users.iter().enumerate() {
@@ -43,7 +44,11 @@ pub fn all_pairs_best_channels(net: &QuantumNetwork, capacity: &CapacityMap) -> 
             }
         }
     }
-    channels.sort_by(|a, b| b.rate.cmp(&a.rate).then_with(|| a.user_pair().cmp(&b.user_pair())));
+    channels.sort_by(|a, b| {
+        b.rate
+            .cmp(&a.rate)
+            .then_with(|| a.user_pair().cmp(&b.user_pair()))
+    });
     channels
 }
 
@@ -74,6 +79,8 @@ impl RoutingAlgorithm for OptimalSufficient {
     }
 
     fn solve(&self, net: &QuantumNetwork) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.optimal.solve");
+        qnet_obs::counter!("core.optimal.solves");
         if net.user_count() < 2 {
             return Err(RoutingError::TooFewUsers {
                 got: net.user_count(),

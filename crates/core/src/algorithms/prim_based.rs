@@ -65,6 +65,8 @@ impl PrimBased {
     }
 
     fn solve_from(&self, net: &QuantumNetwork, u0: NodeId) -> Result<Solution, RoutingError> {
+        let _span = qnet_obs::span!("core.prim_based.solve");
+        qnet_obs::counter!("core.prim_based.solves");
         let users = net.users();
         let mut capacity = CapacityMap::new(net);
         let mut in_tree = vec![false; net.graph().node_count()];
@@ -72,12 +74,14 @@ impl PrimBased {
         let mut tree = EntanglementTree::new();
 
         for _round in 1..users.len() {
+            let _round_span = qnet_obs::span!("core.prim_based.round");
+            qnet_obs::counter!("core.prim_based.rounds");
             let mut best: Option<Channel> = None;
             for &src in users.iter().filter(|u| in_tree[u.index()]) {
                 let finder = ChannelFinder::from_source(net, &capacity, src);
                 for &dst in users.iter().filter(|u| !in_tree[u.index()]) {
                     if let Some(c) = finder.channel_to(dst) {
-                        if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                        if best.as_ref().is_none_or(|b| c.rate > b.rate) {
                             best = Some(c);
                         }
                     }
@@ -89,10 +93,7 @@ impl PrimBased {
                     .copied()
                     .find(|u| !in_tree[u.index()])
                     .expect("round runs only while U₂ is non-empty");
-                return Err(RoutingError::NoFeasibleChannel {
-                    a: u0,
-                    b: stranded,
-                });
+                return Err(RoutingError::NoFeasibleChannel { a: u0, b: stranded });
             };
             capacity.reserve(&c);
             // The destination is whichever endpoint was still in U₂.
@@ -128,7 +129,7 @@ impl RoutingAlgorithm for PrimBased {
                 let mut best: Option<Solution> = None;
                 for &u0 in users {
                     if let Ok(sol) = self.solve_from(net, u0) {
-                        if best.as_ref().map_or(true, |b| sol.rate > b.rate) {
+                        if best.as_ref().is_none_or(|b| sol.rate > b.rate) {
                             best = Some(sol);
                         }
                     }
@@ -189,7 +190,10 @@ mod tests {
             let net = NetworkSpec::paper_default().build(seed);
             let bound = OptimalSufficient.solve(&net).map(|s| s.rate);
             if let (Ok(sol), Ok(bound)) = (PrimBased::default().solve(&net), bound) {
-                assert!(sol.rate.value() <= bound.value() * (1.0 + 1e-9), "seed {seed}");
+                assert!(
+                    sol.rate.value() <= bound.value() * (1.0 + 1e-9),
+                    "seed {seed}"
+                );
             }
         }
     }
@@ -209,7 +213,7 @@ mod tests {
             let a4 = PrimBased::default().solve(&net).unwrap();
             let ratio = a4.rate.ratio(a2.rate);
             assert!(
-                ratio <= 1.0 + 1e-9 && ratio >= 0.999,
+                (0.999..=1.0 + 1e-9).contains(&ratio),
                 "seed {seed}: prim {} vs kruskal {} (ratio {ratio})",
                 a4.rate,
                 a2.rate

@@ -39,10 +39,7 @@ impl Channel {
     pub fn from_path(net: &QuantumNetwork, path: Path) -> Self {
         assert!(!path.edges.is_empty(), "a channel needs at least one link");
         let links: Rate = path.edges.iter().map(|&e| net.link_rate(e)).product();
-        let swaps = net
-            .physics()
-            .swap_rate()
-            .powi(path.edges.len() as u32 - 1);
+        let swaps = net.physics().swap_rate().powi(path.edges.len() as u32 - 1);
         let rate = links * swaps;
         Channel { path, rate }
     }

@@ -125,7 +125,10 @@ impl fmt::Display for ValidationError {
                 "switch {node} capacity exceeded: {demanded} qubits demanded, {available} available"
             ),
             ValidationError::NotSpanningTree { detail } => {
-                write!(f, "channels do not form a spanning entanglement tree: {detail}")
+                write!(
+                    f,
+                    "channels do not form a spanning entanglement tree: {detail}"
+                )
             }
             ValidationError::DuplicateUserPair { a, b } => {
                 write!(f, "more than one channel between users {a} and {b}")

@@ -201,9 +201,8 @@ impl RoutingAlgorithm for FidelityAwarePrim {
             let mut best: Option<Channel> = None;
             for &src in users.iter().filter(|u| in_tree[u.index()]) {
                 for &dst in users.iter().filter(|u| !in_tree[u.index()]) {
-                    if let Some(c) = max_rate_channel_bounded(net, &capacity, src, dst, max_links)
-                    {
-                        if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                    if let Some(c) = max_rate_channel_bounded(net, &capacity, src, dst, max_links) {
+                        if best.as_ref().is_none_or(|b| c.rate > b.rate) {
                             best = Some(c);
                         }
                     }
@@ -308,8 +307,7 @@ mod tests {
         let net = NetworkSpec::paper_default().build(6);
         let cap = CapacityMap::new(&net);
         let users = net.users();
-        let unbounded =
-            crate::algorithms::max_rate_channel(&net, &cap, users[0], users[1]);
+        let unbounded = crate::algorithms::max_rate_channel(&net, &cap, users[0], users[1]);
         let bounded = max_rate_channel_bounded(&net, &cap, users[0], users[1], 60);
         match (unbounded, bounded) {
             (Some(u), Some(b)) => {

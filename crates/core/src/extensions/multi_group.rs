@@ -84,7 +84,7 @@ impl GroupState {
             let finder = ChannelFinder::from_source(net, capacity, src);
             for &dst in self.members.iter().filter(|u| !self.in_tree[u.index()]) {
                 if let Some(c) = finder.channel_to(dst) {
-                    if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                    if best.as_ref().is_none_or(|b| c.rate > b.rate) {
                         best = Some(c);
                     }
                 }

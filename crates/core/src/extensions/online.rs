@@ -217,7 +217,7 @@ fn route_group(
             let finder = ChannelFinder::from_source(net, &trial_capacity, src);
             for &dst in members.iter().filter(|u| !in_tree[u.index()]) {
                 if let Some(c) = finder.channel_to(dst) {
-                    if best.as_ref().map_or(true, |b| c.rate > b.rate) {
+                    if best.as_ref().is_none_or(|b| c.rate > b.rate) {
                         best = Some(c);
                     }
                 }

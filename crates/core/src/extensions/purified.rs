@@ -137,13 +137,12 @@ impl RoutingAlgorithm for PurifiedPrim {
                     let Some(c) = finder.channel_to(dst) else {
                         continue;
                     };
-                    let Some(plan) = purification_plan(self.model, c.link_count(), c.rate)
-                    else {
+                    let Some(plan) = purification_plan(self.model, c.link_count(), c.rate) else {
                         continue;
                     };
                     if best
                         .as_ref()
-                        .map_or(true, |(_, b)| plan.effective_rate > b.effective_rate)
+                        .is_none_or(|(_, b)| plan.effective_rate > b.effective_rate)
                     {
                         best = Some((c, plan));
                     }

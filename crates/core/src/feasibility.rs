@@ -45,8 +45,16 @@ pub fn enumerate_channels(
     let mut edges = Vec::new();
     let mut on_path = vec![false; net.graph().node_count()];
     on_path[a.index()] = true;
-    dfs(net, b, max_links, &mut nodes, &mut edges, &mut on_path, &mut out);
-    out.sort_by(|x, y| y.rate.cmp(&x.rate));
+    dfs(
+        net,
+        b,
+        max_links,
+        &mut nodes,
+        &mut edges,
+        &mut on_path,
+        &mut out,
+    );
+    out.sort_by_key(|x| std::cmp::Reverse(x.rate));
     out
 }
 
@@ -147,9 +155,8 @@ pub fn exhaustive_optimal(net: &QuantumNetwork, max_links: usize) -> Option<Enta
 
 /// `true` when any feasible entanglement tree exists within the horizon.
 pub fn is_feasible_exhaustive(net: &QuantumNetwork, max_links: usize) -> bool {
-    exhaustive_optimal(net, max_links).map_or(false, |t| {
-        t.channels.len() + 1 == net.user_count() || net.user_count() < 2
-    })
+    exhaustive_optimal(net, max_links)
+        .is_some_and(|t| t.channels.len() + 1 == net.user_count() || net.user_count() < 2)
 }
 
 fn decode_prufer(prufer: &[usize], k: usize) -> Vec<(usize, usize)> {
@@ -216,7 +223,7 @@ fn assign(
 ) {
     let idx = chosen.len();
     if idx == tree_pairs.len() {
-        if best.as_ref().map_or(true, |(r, _)| product > *r) {
+        if best.as_ref().is_none_or(|(r, _)| product > *r) {
             *best = Some((
                 product,
                 EntanglementTree {
@@ -265,7 +272,9 @@ mod tests {
         // 4 users on a ring of 4 switches with chords.
         let mut g: Graph<NodeKind, f64> = Graph::new();
         let u: Vec<NodeId> = (0..4).map(|_| g.add_node(NodeKind::User)).collect();
-        let s: Vec<NodeId> = (0..4).map(|_| g.add_node(NodeKind::Switch { qubits })).collect();
+        let s: Vec<NodeId> = (0..4)
+            .map(|_| g.add_node(NodeKind::Switch { qubits }))
+            .collect();
         for i in 0..4 {
             g.add_edge(u[i], s[i], 800.0 + 50.0 * i as f64);
             g.add_edge(s[i], s[(i + 1) % 4], 600.0);
@@ -361,8 +370,14 @@ mod tests {
             };
             let exact_rate = exact.rate().value();
             for sol in [
-                ConflictFree::default().solve(&net).ok().map(|s| s.rate.value()),
-                PrimBased::default().solve(&net).ok().map(|s| s.rate.value()),
+                ConflictFree::default()
+                    .solve(&net)
+                    .ok()
+                    .map(|s| s.rate.value()),
+                PrimBased::default()
+                    .solve(&net)
+                    .ok()
+                    .map(|s| s.rate.value()),
             ]
             .into_iter()
             .flatten()

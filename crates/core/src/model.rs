@@ -269,7 +269,7 @@ pub struct NetworkSpec {
 
 impl NetworkSpec {
     /// The paper's full default setup (§V-A): Waxman topology, 50 switches
-    /// + 10 users, average degree 6, 4 qubits per switch, `q = 0.9`,
+    /// plus 10 users, average degree 6, 4 qubits per switch, `q = 0.9`,
     /// `α = 10⁻⁴`, 10 000 × 10 000 area.
     pub fn paper_default() -> Self {
         NetworkSpec {

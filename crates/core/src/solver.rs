@@ -217,8 +217,7 @@ fn validate_fusion_star(
         }
     }
 
-    let recomputed: Rate =
-        solution.channels.iter().map(|c| c.rate).product::<Rate>() * fusion_rate;
+    let recomputed: Rate = solution.channels.iter().map(|c| c.rate).product::<Rate>() * fusion_rate;
     check_rate(solution.rate, recomputed)
 }
 
@@ -330,7 +329,7 @@ mod tests {
         assert_eq!(by_ref.name(), "Alg-4");
         let net = crate::model::NetworkSpec::paper_default().build(1);
         let a = algo.solve(&net);
-        let b = (&algo).solve(&net);
+        let b = algo.solve(&net);
         assert_eq!(a.is_ok(), b.is_ok());
     }
 

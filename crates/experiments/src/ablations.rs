@@ -15,6 +15,9 @@ use parking_lot::Mutex;
 use crate::runner::TrialConfig;
 use crate::table::FigureTable;
 
+/// Per-trial seed-choice policy used by the [`seed_choice`] ablation.
+type SeedPolicy = Box<dyn Fn(u64) -> SeedChoice + Sync>;
+
 /// Mean rate of `solve` over the trial networks (0 on failure), plus the
 /// fraction of feasible trials.
 fn sweep<A: RoutingAlgorithm + Sync>(
@@ -39,12 +42,9 @@ fn sweep<A: RoutingAlgorithm + Sync>(
                 let net = spec.build(seed);
                 let outcome = algo_for_trial(seed).solve(&net);
                 let mut lock = acc.lock();
-                match outcome {
-                    Ok(sol) => {
-                        lock.0 += sol.rate.value();
-                        lock.1 += 1;
-                    }
-                    Err(_) => {}
+                if let Ok(sol) = outcome {
+                    lock.0 += sol.rate.value();
+                    lock.1 += 1;
                 }
             });
         }
@@ -62,9 +62,10 @@ fn sweep<A: RoutingAlgorithm + Sync>(
 /// The paper picks the seed uniformly at random; `BestOfAll` retries from
 /// every user (×|U| cost) and upper-bounds what seed choice can buy.
 pub fn seed_choice(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.ablations.seed_choice");
     let spec = NetworkSpec::paper_default();
     let mut rows = Vec::new();
-    let variants: [(&str, Box<dyn Fn(u64) -> SeedChoice + Sync>); 3] = [
+    let variants: [(&str, SeedPolicy); 3] = [
         ("first-user", Box::new(|_| SeedChoice::FirstUser)),
         ("random (paper)", Box::new(SeedChoice::Random)),
         ("best-of-all", Box::new(|_| SeedChoice::BestOfAll)),
@@ -85,13 +86,17 @@ pub fn seed_choice(cfg: TrialConfig) -> FigureTable {
 /// Ablation: Algorithm 3's phase-1 retention policy under tight capacity
 /// (Q = 2, the stressed cell of Fig. 8(a)).
 pub fn retention_policy(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.ablations.retention_policy");
     let mut rows = Vec::new();
     for qubits in [2u32, 4] {
         let mut spec = NetworkSpec::paper_default();
         spec.qubits_per_switch = qubits;
         for (label, retention) in [
             ("max-rate-first (paper)", RetentionPolicy::MaxRateFirst),
-            ("fewest-switches-first", RetentionPolicy::FewestSwitchesFirst),
+            (
+                "fewest-switches-first",
+                RetentionPolicy::FewestSwitchesFirst,
+            ),
         ] {
             let (rate, feasible) = sweep(spec, |_| ConflictFree { retention }, cfg);
             rows.push((format!("Q={qubits} {label}"), vec![rate, feasible]));
@@ -109,6 +114,7 @@ pub fn retention_policy(cfg: TrialConfig) -> FigureTable {
 /// Ablation: N-FUSION's GHZ-measurement success model — how much of the
 /// baseline's deficit is the fusion penalty vs. the star shape.
 pub fn fusion_model(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.ablations.fusion_model");
     use muerp_core::algorithms::baselines::{FusionSuccess, NFusion};
     let spec = NetworkSpec::paper_default();
     let mut rows = Vec::new();
@@ -132,6 +138,7 @@ pub fn fusion_model(cfg: TrialConfig) -> FigureTable {
 /// Ablation: local-search refinement on top of the greedy heuristics,
 /// under tight capacity (where greedy traps exist) and the default.
 pub fn local_search(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.ablations.local_search");
     use qnet_topology::TopologyKind;
     let mut rows = Vec::new();
     // Waxman at two capacity levels, plus power-law (whose hubs
@@ -155,7 +162,10 @@ pub fn local_search(cfg: TrialConfig) -> FigureTable {
             },
             cfg,
         );
-        rows.push((format!("{} Q={qubits} Alg-3", kind.name()), vec![plain, 0.0]));
+        rows.push((
+            format!("{} Q={qubits} Alg-3", kind.name()),
+            vec![plain, 0.0],
+        ));
         rows.push((
             format!("{} Q={qubits} Alg-3+LS", kind.name()),
             vec![refined, (refined / plain.max(1e-300) - 1.0) * 100.0],

@@ -2,9 +2,7 @@
 //! reproduction adds (beam search, local-search refinement) against the
 //! paper's heuristics, on the cells where greedy commitment hurts.
 
-use muerp_core::algorithms::{
-    BeamSearch, ConflictFree, LocalSearchOptions, PrimBased, Refined,
-};
+use muerp_core::algorithms::{BeamSearch, ConflictFree, LocalSearchOptions, PrimBased, Refined};
 use muerp_core::model::NetworkSpec;
 use muerp_core::solver::RoutingAlgorithm;
 use parking_lot::Mutex;
@@ -46,6 +44,7 @@ fn mean_rate<A: RoutingAlgorithm + Sync>(
 /// algorithms, across the three stressed cells (tight capacity and
 /// hub-heavy topology).
 pub fn beyond_paper(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.beyond.beyond_paper");
     let cells: [(&str, TopologyKind, u32); 3] = [
         ("Waxman Q=2", TopologyKind::Waxman, 2),
         ("Waxman Q=4", TopologyKind::Waxman, 4),
@@ -83,6 +82,7 @@ pub fn beyond_paper(cfg: TrialConfig) -> FigureTable {
 /// shared switches, per strategy. Reports the geometric-mean group rate
 /// (a fairness-sensitive aggregate) and the worst group's rate.
 pub fn multi_group_concurrency(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.beyond.multi_group_concurrency");
     use muerp_core::extensions::{route_groups, GroupStrategy};
     let spec = NetworkSpec::paper_default();
     let splits: [(&str, &[usize]); 3] = [
@@ -115,12 +115,15 @@ pub fn multi_group_concurrency(cfg: TrialConfig) -> FigureTable {
                             start += size;
                         }
                         let outcomes = route_groups(&net, &groups, strategy);
-                        let rates: Vec<f64> =
-                            outcomes.iter().map(|o| o.rate().value()).collect();
-                        let geo = if rates.iter().any(|&r| r == 0.0) {
+                        let rates: Vec<f64> = outcomes.iter().map(|o| o.rate().value()).collect();
+                        let geo = if rates.contains(&0.0) {
                             0.0
                         } else {
-                            rates.iter().map(|r| r.ln()).sum::<f64>().exp()
+                            rates
+                                .iter()
+                                .map(|r| r.ln())
+                                .sum::<f64>()
+                                .exp()
                                 .powf(1.0 / rates.len() as f64)
                         };
                         let worst = rates.iter().copied().fold(f64::INFINITY, f64::min);
@@ -185,7 +188,10 @@ mod tests {
                 refined >= alg3 * (1.0 - 1e-12),
                 "{label}: refinement lost to its base"
             );
-            assert!(beam > 0.0 || alg3 == 0.0, "{label}: beam infeasible where Alg-3 works");
+            assert!(
+                beam > 0.0 || alg3 == 0.0,
+                "{label}: beam infeasible where Alg-3 works"
+            );
         }
     }
 }

@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
-//! one CSV per table into the directory.
+//! one CSV per table into the directory. `--obs-report` additionally
+//! snapshots the observability state (span tree, counters, histograms)
+//! into one `results/obs/<id>.json` per suite.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use muerp_experiments::cli;
@@ -56,12 +59,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if args.obs_report && std::env::var_os("MUERP_OBS").is_none() {
+        // Reports want the span tree; respect an explicit MUERP_OBS.
+        qnet_obs::set_level(qnet_obs::ObsLevel::Full);
+    }
     println!(
         "MUERP reproduction — {} trial(s) per cell, base seed {}\n",
         args.cfg.trials, args.cfg.base_seed
     );
     for id in &args.which {
         let started = std::time::Instant::now();
+        if args.obs_report {
+            // Per-suite deltas: zero everything before each suite runs.
+            qnet_obs::global().reset();
+            qnet_obs::reset_spans();
+        }
         for table in run_one(id, args.cfg) {
             println!("{}", table.render_text());
             if let Some(dir) = &args.out {
@@ -71,6 +83,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {}", path.display());
+            }
+        }
+        if args.obs_report {
+            let report = qnet_obs::RunReport::capture(id);
+            match qnet_obs::write_report(Path::new("results/obs"), &report) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write obs report for {id}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         println!("({id} took {:.1?})\n", started.elapsed());

@@ -28,6 +28,9 @@ pub struct Args {
     pub cfg: TrialConfig,
     /// Optional CSV output directory.
     pub out: Option<PathBuf>,
+    /// Write one observability report per suite into `results/obs/`
+    /// (raising the level to `full` unless `MUERP_OBS` pins it).
+    pub obs_report: bool,
 }
 
 /// Parses the arguments (without the program name).
@@ -43,6 +46,7 @@ where
     let mut which = Vec::new();
     let mut cfg = TrialConfig::default();
     let mut out = None;
+    let mut obs_report = false;
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -61,6 +65,7 @@ where
                 let v = argv.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(v));
             }
+            "--obs-report" => obs_report = true,
             "all" => which.extend(ALL_IDS.iter().map(|s| s.to_string())),
             id if ALL_IDS.contains(&id) => which.push(id.to_string()),
             other => return Err(format!("unknown argument: {other}")),
@@ -68,12 +73,17 @@ where
     }
     if which.is_empty() {
         return Err(format!(
-            "usage: repro <{}|all> [--trials N] [--seed S] [--out DIR]",
+            "usage: repro <{}|all> [--trials N] [--seed S] [--out DIR] [--obs-report]",
             ALL_IDS.join("|")
         ));
     }
     which.dedup();
-    Ok(Args { which, cfg, out })
+    Ok(Args {
+        which,
+        cfg,
+        out,
+        obs_report,
+    })
 }
 
 #[cfg(test)]
@@ -94,11 +104,22 @@ mod tests {
 
     #[test]
     fn parses_flags_in_any_order() {
-        let a = parse(s(&["--trials", "7", "fig8a", "--seed", "3", "--out", "/tmp/x"])).unwrap();
+        let a = parse(s(&[
+            "--trials", "7", "fig8a", "--seed", "3", "--out", "/tmp/x",
+        ]))
+        .unwrap();
         assert_eq!(a.cfg.trials, 7);
         assert_eq!(a.cfg.base_seed, 3);
         assert_eq!(a.out, Some(PathBuf::from("/tmp/x")));
         assert_eq!(a.which, vec!["fig8a"]);
+        assert!(!a.obs_report);
+    }
+
+    #[test]
+    fn parses_obs_report_flag() {
+        let a = parse(s(&["--obs-report", "fig5"])).unwrap();
+        assert!(a.obs_report);
+        assert_eq!(a.which, vec!["fig5"]);
     }
 
     #[test]
@@ -117,10 +138,18 @@ mod tests {
 
     #[test]
     fn rejects_zero_trials_and_missing_values() {
-        assert!(parse(s(&["fig5", "--trials", "0"])).unwrap_err().contains("positive"));
-        assert!(parse(s(&["fig5", "--trials"])).unwrap_err().contains("needs a value"));
-        assert!(parse(s(&["fig5", "--trials", "abc"])).unwrap_err().contains("bad --trials"));
-        assert!(parse(s(&["fig5", "--out"])).unwrap_err().contains("directory"));
+        assert!(parse(s(&["fig5", "--trials", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(s(&["fig5", "--trials"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(s(&["fig5", "--trials", "abc"]))
+            .unwrap_err()
+            .contains("bad --trials"));
+        assert!(parse(s(&["fig5", "--out"]))
+            .unwrap_err()
+            .contains("directory"));
     }
 
     #[test]

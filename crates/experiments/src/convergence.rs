@@ -15,6 +15,7 @@ use crate::table::FigureTable;
 /// Mean rate per algorithm at growing trial counts (all prefixes of one
 /// seed sequence, so rows are nested samples).
 pub fn trial_sensitivity(max_trials: u64, base_seed: u64) -> FigureTable {
+    let _span = qnet_obs::span!("exp.convergence.trial_sensitivity");
     let spec = NetworkSpec::paper_default();
     let all = per_trial_rates(
         |s| spec.build(s),
@@ -28,9 +29,7 @@ pub fn trial_sensitivity(max_trials: u64, base_seed: u64) -> FigureTable {
     let mut n = 5u64;
     while n <= max_trials {
         let means: Vec<f64> = (0..AlgoKind::ALL.len())
-            .map(|a| {
-                all[..n as usize].iter().map(|row| row[a]).sum::<f64>() / n as f64
-            })
+            .map(|a| all[..n as usize].iter().map(|row| row[a]).sum::<f64>() / n as f64)
             .collect();
         rows.push((n.to_string(), means));
         n *= 2;
@@ -47,6 +46,7 @@ pub fn trial_sensitivity(max_trials: u64, base_seed: u64) -> FigureTable {
 /// Across-network dispersion at the default cell: mean, standard
 /// deviation, and coefficient of variation per algorithm.
 pub fn dispersion(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.convergence.dispersion");
     let spec = NetworkSpec::paper_default();
     let all = per_trial_rates(|s| spec.build(s), &AlgoKind::ALL, cfg);
     let n = cfg.trials as f64;

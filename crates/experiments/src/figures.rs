@@ -20,6 +20,7 @@ fn algo_names() -> Vec<&'static str> {
 
 /// Fig. 5 — entanglement rate vs. network topology.
 pub fn fig5(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig5");
     let mut rows = Vec::new();
     for kind in TopologyKind::ALL {
         let mut spec = NetworkSpec::paper_default();
@@ -38,6 +39,7 @@ pub fn fig5(cfg: TrialConfig) -> FigureTable {
 
 /// Fig. 6(a) — entanglement rate vs. number of users.
 pub fn fig6a(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig6a");
     let mut rows = Vec::new();
     for users in [4usize, 6, 8, 10, 12, 14] {
         let mut spec = NetworkSpec::paper_default();
@@ -58,6 +60,7 @@ pub fn fig6a(cfg: TrialConfig) -> FigureTable {
 
 /// Fig. 6(b) — entanglement rate vs. number of switches.
 pub fn fig6b(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig6b");
     let mut rows = Vec::new();
     for switches in [10usize, 20, 30, 40, 50] {
         let mut spec = NetworkSpec::paper_default();
@@ -76,6 +79,7 @@ pub fn fig6b(cfg: TrialConfig) -> FigureTable {
 
 /// Fig. 7(a) — entanglement rate vs. average degree of a switch.
 pub fn fig7a(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig7a");
     let mut rows = Vec::new();
     for degree in [4u32, 6, 8, 10] {
         let mut spec = NetworkSpec::paper_default();
@@ -99,6 +103,7 @@ pub fn fig7a(cfg: TrialConfig) -> FigureTable {
 /// network is a subgraph of the previous one — until nothing feasible
 /// remains.
 pub fn fig7b(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig7b");
     let mut spec = NetworkSpec::paper_default();
     spec.topology.avg_degree = 20.0; // 60 nodes → 600 edges
     let total_edges = 600usize;
@@ -124,10 +129,11 @@ pub fn fig7b(cfg: TrialConfig) -> FigureTable {
         order.shuffle(&mut rng);
 
         for (row, &k) in rows.iter_mut().zip(&steps) {
-            let removed: std::collections::HashSet<usize> =
-                order[..(k * step).min(order.len())].iter().copied().collect();
-            let pruned: SpatialGraph =
-                spatial.filter_edges(|e| !removed.contains(&e.id.index()));
+            let removed: std::collections::HashSet<usize> = order[..(k * step).min(order.len())]
+                .iter()
+                .copied()
+                .collect();
+            let pruned: SpatialGraph = spatial.filter_edges(|e| !removed.contains(&e.id.index()));
             let net = spec.build_from_spatial(&pruned, seed);
             for (acc, algo) in row.1.iter_mut().zip(&AlgoKind::ALL) {
                 *acc += algo.rate_on(&net, seed);
@@ -154,6 +160,7 @@ pub fn fig7b(cfg: TrialConfig) -> FigureTable {
 /// Algorithm 2 is exempt from the sweep (its switches always hold
 /// `2·|U| = 20` qubits), which [`AlgoKind::Alg2`] implements.
 pub fn fig8a(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig8a");
     let mut rows = Vec::new();
     for qubits in [2u32, 4, 6, 8] {
         let mut spec = NetworkSpec::paper_default();
@@ -172,6 +179,7 @@ pub fn fig8a(cfg: TrialConfig) -> FigureTable {
 
 /// Fig. 8(b) — entanglement rate vs. successful swapping rate `q`.
 pub fn fig8b(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.fig8b");
     let mut rows = Vec::new();
     for q in [0.6f64, 0.7, 0.8, 0.9, 1.0] {
         let mut spec = NetworkSpec::paper_default();
@@ -196,6 +204,7 @@ pub fn fig8b(cfg: TrialConfig) -> FigureTable {
 /// where the baseline is feasible (rate > 0); the maximum over all cells
 /// is reported.
 pub fn headline(cfg: TrialConfig) -> FigureTable {
+    let _span = qnet_obs::span!("exp.figures.headline");
     let tables = [
         fig5(cfg),
         fig6a(cfg),
@@ -344,6 +353,9 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         // Alg-2 must beat both baselines somewhere.
         let alg2 = &t.rows[0].1;
-        assert!(alg2.iter().all(|&v| v > 0.0), "Alg-2 improvements: {alg2:?}");
+        assert!(
+            alg2.iter().all(|&v| v > 0.0),
+            "Alg-2 improvements: {alg2:?}"
+        );
     }
 }

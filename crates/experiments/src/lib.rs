@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub mod cli;
 pub mod beyond;
+pub mod cli;
 pub mod convergence;
 pub mod figures;
 pub mod runner;

@@ -38,6 +38,7 @@ pub fn mean_rates<F>(build: F, algos: &[AlgoKind], cfg: TrialConfig) -> Vec<f64>
 where
     F: Fn(u64) -> QuantumNetwork + Sync,
 {
+    let _span = qnet_obs::span!("exp.runner.mean_rates");
     let totals = Mutex::new(vec![0.0f64; algos.len()]);
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = std::thread::available_parallelism()
@@ -52,6 +53,7 @@ where
                 if t >= cfg.trials {
                     break;
                 }
+                qnet_obs::counter!("exp.runner.trials");
                 let seed = cfg.base_seed + t;
                 let net = build(seed);
                 let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();
@@ -78,6 +80,7 @@ pub fn per_trial_rates<F>(build: F, algos: &[AlgoKind], cfg: TrialConfig) -> Vec
 where
     F: Fn(u64) -> QuantumNetwork + Sync,
 {
+    let _span = qnet_obs::span!("exp.runner.per_trial_rates");
     let rows = Mutex::new(vec![Vec::new(); cfg.trials as usize]);
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = std::thread::available_parallelism()
@@ -91,6 +94,7 @@ where
                 if t >= cfg.trials {
                     break;
                 }
+                qnet_obs::counter!("exp.runner.trials");
                 let seed = cfg.base_seed + t;
                 let net = build(seed);
                 let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();

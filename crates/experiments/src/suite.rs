@@ -55,13 +55,11 @@ impl AlgoKind {
         let outcome = match self {
             AlgoKind::Alg2 => {
                 let granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
-                OptimalSufficient
-                    .solve(&granted)
-                    .map(|sol| {
-                        validate_solution(&granted, &sol)
-                            .unwrap_or_else(|e| panic!("Alg-2 invalid solution: {e}"));
-                        sol.rate
-                    })
+                OptimalSufficient.solve(&granted).map(|sol| {
+                    validate_solution(&granted, &sol)
+                        .unwrap_or_else(|e| panic!("Alg-2 invalid solution: {e}"));
+                    sol.rate
+                })
             }
             AlgoKind::Alg3 => ConflictFree::default().solve(net).map(|sol| {
                 validate_solution(net, &sol)

@@ -87,10 +87,7 @@ mod tests {
             title: "test".into(),
             x_label: "x",
             algos: vec!["A", "B"],
-            rows: vec![
-                ("1".into(), vec![0.5, 0.0]),
-                ("2".into(), vec![1e-4, 2e-3]),
-            ],
+            rows: vec![("1".into(), vec![0.5, 0.0]), ("2".into(), vec![1e-4, 2e-3])],
         }
     }
 

@@ -151,9 +151,12 @@ mod tests {
             g.add_edge(hub, leaf, 1.0);
         }
         let c = betweenness(&g, w);
-        assert!((c[hub.index()] - 1.0).abs() < 1e-12, "hub carries all pairs");
-        for leaf in 1..5 {
-            assert_eq!(c[leaf], 0.0);
+        assert!(
+            (c[hub.index()] - 1.0).abs() < 1e-12,
+            "hub carries all pairs"
+        );
+        for &leaf_score in &c[1..5] {
+            assert_eq!(leaf_score, 0.0);
         }
     }
 

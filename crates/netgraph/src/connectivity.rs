@@ -281,7 +281,16 @@ mod tests {
         // Deterministic small graph; compare Tarjan against removal test.
         let mut g: Graph<(), ()> = Graph::new();
         let ids: Vec<_> = (0..7).map(|_| g.add_node(())).collect();
-        let pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)];
+        let pairs = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+        ];
         for (a, b) in pairs {
             g.add_edge(ids[a], ids[b], ());
         }

@@ -91,7 +91,7 @@ where
         let w = weight(e);
         let (i, j) = (e.a.index(), e.b.index());
         let slot = &mut best_edge[i.min(j)][i.max(j)];
-        if slot.map_or(true, |(bw, _)| w < bw) {
+        if slot.is_none_or(|(bw, _)| w < bw) {
             *slot = Some((w, e.id));
         }
     }
@@ -101,7 +101,10 @@ where
     let mut prufer = vec![0usize; seq_len];
     loop {
         if let Some(t) = tree_from_prufer(&prufer, n, max_degree, &best_edge) {
-            if best.as_ref().map_or(true, |b| t.total_weight < b.total_weight) {
+            if best
+                .as_ref()
+                .is_none_or(|b| t.total_weight < b.total_weight)
+            {
                 best = Some(t);
             }
         }
@@ -158,7 +161,9 @@ fn tree_from_prufer(
     // Standard O(n^2) decode — fine for n ≤ 9.
     let mut used = vec![false; n];
     for &p in prufer {
-        let leaf = (0..n).find(|&v| !used[v] && deg[v] == 1).expect("valid Prüfer");
+        let leaf = (0..n)
+            .find(|&v| !used[v] && deg[v] == 1)
+            .expect("valid Prüfer");
         used[leaf] = true;
         deg[leaf] -= 1;
         deg[p] -= 1;

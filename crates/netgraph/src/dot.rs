@@ -9,18 +9,23 @@ use core::fmt::Write as _;
 
 use crate::graph::{EdgeRef, Graph, NodeId};
 
+/// Renders one node's label or attribute string.
+pub type NodeFormatter<'a, N> = Box<dyn Fn(NodeId, &N) -> String + 'a>;
+/// Renders one edge's label or attribute string.
+pub type EdgeFormatter<'a, E> = Box<dyn Fn(EdgeRef<'_, E>) -> String + 'a>;
+
 /// Options controlling the DOT rendering.
 pub struct DotOptions<'a, N, E> {
     /// Graph name in the DOT header.
     pub name: &'a str,
     /// Label for each node (empty string for no label).
-    pub node_label: Box<dyn Fn(NodeId, &N) -> String + 'a>,
+    pub node_label: NodeFormatter<'a, N>,
     /// Optional extra attributes per node, e.g. `color=red` (no braces).
-    pub node_attrs: Box<dyn Fn(NodeId, &N) -> String + 'a>,
+    pub node_attrs: NodeFormatter<'a, N>,
     /// Label for each edge.
-    pub edge_label: Box<dyn Fn(EdgeRef<'_, E>) -> String + 'a>,
+    pub edge_label: EdgeFormatter<'a, E>,
     /// Optional extra attributes per edge.
-    pub edge_attrs: Box<dyn Fn(EdgeRef<'_, E>) -> String + 'a>,
+    pub edge_attrs: EdgeFormatter<'a, E>,
 }
 
 impl<N, E> Default for DotOptions<'_, N, E> {
@@ -87,7 +92,13 @@ pub fn to_dot<N, E>(g: &Graph<N, E>, options: &DotOptions<'_, N, E>) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "g".to_string()

@@ -36,11 +36,13 @@ where
     FC: Fn(EdgeRef<'_, E>) -> f64,
     FR: Fn(NodeId) -> bool,
 {
+    qnet_obs::counter!("graph.ksp.calls");
     if k == 0 || source == target {
         return Vec::new();
     }
     let mut accepted: Vec<Path> = Vec::with_capacity(k);
     let mut candidates: Vec<Path> = Vec::new();
+    let mut expansions: u64 = 0;
 
     let Some(first) = dijkstra(g, source, config).path_to(target) else {
         return Vec::new();
@@ -75,8 +77,7 @@ where
                     banned_edges.insert(p.edges[spur_idx]);
                 }
             }
-            let banned_nodes: HashSet<NodeId> =
-                root_nodes[..spur_idx].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root_nodes[..spur_idx].iter().copied().collect();
 
             let spur_cfg = DijkstraConfig {
                 edge_cost: |e: EdgeRef<'_, E>| {
@@ -91,6 +92,7 @@ where
                 },
                 can_relay: |n: NodeId| !banned_nodes.contains(&n) && (config.can_relay)(n),
             };
+            expansions += 1;
             let Some(spur_path) = dijkstra(g, spur_node, &spur_cfg).path_to(target) else {
                 continue;
             };
@@ -130,6 +132,8 @@ where
             .expect("non-empty candidates");
         accepted.push(candidates.swap_remove(best_idx));
     }
+    qnet_obs::counter!("graph.ksp.spur_expansions"; expansions);
+    qnet_obs::counter!("graph.ksp.paths_generated"; accepted.len() as u64);
     accepted
 }
 

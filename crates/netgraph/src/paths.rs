@@ -185,11 +185,16 @@ where
     FC: Fn(EdgeRef<'_, E>) -> f64,
     FR: Fn(NodeId) -> bool,
 {
+    qnet_obs::counter!("graph.dijkstra.calls");
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
+    // Tally locally; flush once at the end so the hot loop stays free of
+    // shared-state traffic.
+    let mut settled_n: u64 = 0;
+    let mut relaxed_n: u64 = 0;
 
     dist[source.index()] = 0.0;
     heap.push(HeapEntry {
@@ -202,6 +207,7 @@ where
             continue;
         }
         settled[node.index()] = true;
+        settled_n += 1;
 
         // Relax out of `node` only if it may serve as an interior relay
         // (the source itself always relays: it is an endpoint, not an
@@ -226,6 +232,7 @@ where
             if cand < dist[next.index()] {
                 dist[next.index()] = cand;
                 prev[next.index()] = Some((node, eid));
+                relaxed_n += 1;
                 heap.push(HeapEntry {
                     cost: cand,
                     node: next,
@@ -234,6 +241,8 @@ where
         }
     }
 
+    qnet_obs::counter!("graph.dijkstra.settled"; settled_n);
+    qnet_obs::counter!("graph.dijkstra.relaxations"; relaxed_n);
     DijkstraRun { source, dist, prev }
 }
 

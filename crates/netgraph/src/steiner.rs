@@ -56,9 +56,9 @@ where
     for &t in terminals {
         closure.add_node(t);
     }
-    for i in 0..terminals.len() {
-        for j in (i + 1)..terminals.len() {
-            match runs[i].distance(terminals[j]) {
+    for (i, run) in runs.iter().enumerate() {
+        for (j, &tj) in terminals.iter().enumerate().skip(i + 1) {
+            match run.distance(tj) {
                 Some(d) => {
                     closure.add_node_pair_edge(i, j, (d, i, j));
                 }
@@ -177,10 +177,7 @@ mod tests {
     fn singleton_and_empty_terminals() {
         let mut g: Graph<(), f64> = Graph::new();
         let a = g.add_node(());
-        assert_eq!(
-            steiner_approximation(&g, &[a], w).unwrap().edges.len(),
-            0
-        );
+        assert_eq!(steiner_approximation(&g, &[a], w).unwrap().edges.len(), 0);
         assert_eq!(steiner_approximation(&g, &[], w).unwrap().edges.len(), 0);
     }
 

@@ -1,0 +1,144 @@
+//! # qnet-obs — workspace-wide observability
+//!
+//! A zero-heavy-dependency instrumentation layer shared by every crate
+//! in the MUERP workspace: the graph substrate counts Dijkstra/Yen
+//! work, the solvers emit span trees and channel-rejection counters,
+//! the simulator aggregates per-slot outcomes, and the experiments
+//! runner snapshots everything into machine-readable run reports under
+//! `results/obs/`.
+//!
+//! ## Switch
+//!
+//! The global level is read once from the `MUERP_OBS` environment
+//! variable:
+//!
+//! | value      | spans | counters/histograms | typical cost            |
+//! |------------|-------|---------------------|-------------------------|
+//! | `off`      | no    | no                  | one relaxed atomic load |
+//! | `counters` | no    | yes                 | a few atomic adds       |
+//! | `full`     | yes   | yes                 | + one mutex op per span |
+//!
+//! Unset defaults to `counters`. [`set_level`] overrides the variable at
+//! runtime (used by benches, tests, and `repro --obs-report`).
+//!
+//! ## Naming convention
+//!
+//! Metrics are `<crate>.<component>.<name>` (e.g. `graph.dijkstra.calls`,
+//! `core.channel.rejected`). Labels are static key/value pairs:
+//! `core.channel.rejected{reason=qubit_capacity}`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use qnet_obs::{span, counter, histogram, ObsLevel, RunReport};
+//!
+//! qnet_obs::set_level(ObsLevel::Full);
+//! {
+//!     let _solve = span!("docs.example.solve");
+//!     counter!("docs.example.calls");
+//!     counter!("docs.channel.rejected", reason = "qubit_capacity");
+//!     histogram!("docs.slot.duration_us", 17);
+//! }
+//! let report = RunReport::capture("doctest");
+//! assert_eq!(report.counter_total("docs.example.calls"), 1);
+//! let json = report.to_json();
+//! assert!(serde_json::to_string(&json).unwrap().contains("docs.example.solve"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod level;
+mod registry;
+mod report;
+mod span;
+
+pub use level::{enabled, level, set_level, ObsLevel};
+pub use registry::{
+    global, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricKey, Registry,
+};
+pub use report::{write_report, RunReport, SpanSnapshot};
+pub use span::{enter, reset_spans, SpanGuard};
+
+/// Serializes unit tests that mutate the process-global level or span
+/// store, since the default test harness runs them in parallel.
+#[cfg(test)]
+pub(crate) fn serial_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    LOCK.lock()
+}
+
+/// Increments a named counter when the level admits counters.
+///
+/// The counter handle is resolved once per call site and cached in a
+/// `OnceLock`, so the steady-state cost is one relaxed level load plus
+/// one relaxed `fetch_add`. An optional static label refines the metric:
+///
+/// ```
+/// qnet_obs::counter!("core.alg1.runs");
+/// qnet_obs::counter!("core.channel.rejected", reason = "disconnected");
+/// qnet_obs::counter!("sim.slot.success"; 42); // add an explicit amount
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal $(, $key:ident = $value:literal)? $(,)?) => {
+        $crate::counter!($name $(, $key = $value)?; 1)
+    };
+    ($name:literal $(, $key:ident = $value:literal)?; $amount:expr) => {{
+        if $crate::enabled($crate::ObsLevel::Counters) {
+            static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+                ::std::sync::OnceLock::new();
+            __HANDLE
+                .get_or_init(|| {
+                    $crate::global().counter($crate::MetricKey {
+                        name: $name,
+                        label: $crate::counter!(@label $($key = $value)?),
+                    })
+                })
+                .add($amount);
+        }
+    }};
+    (@label) => {
+        ::core::option::Option::None
+    };
+    (@label $key:ident = $value:literal) => {
+        ::core::option::Option::Some((stringify!($key), $value))
+    };
+}
+
+/// Records a value into a named log-bucketed histogram when the level
+/// admits counters.
+///
+/// ```
+/// qnet_obs::histogram!("sim.slot.duration_us", 125);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $value:expr $(,)?) => {{
+        if $crate::enabled($crate::ObsLevel::Counters) {
+            static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+                ::std::sync::OnceLock::new();
+            __HANDLE
+                .get_or_init(|| {
+                    $crate::global().histogram($crate::MetricKey {
+                        name: $name,
+                        label: ::core::option::Option::None,
+                    })
+                })
+                .record($value);
+        }
+    }};
+}
+
+/// Opens a hierarchical timing span, closed when the returned guard
+/// drops. A no-op (no allocation, no lock) below [`ObsLevel::Full`].
+///
+/// ```
+/// let _guard = qnet_obs::span!("core.prim_based.solve");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::enter($name)
+    };
+}

@@ -1,0 +1,338 @@
+//! Counters, log-bucketed histograms, and the registry that owns them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+/// Identifies a metric: a static name plus an optional static label
+/// pair, e.g. `core.channel.rejected{reason=qubit_capacity}`.
+///
+/// Names follow the `<crate>.<component>.<name>` convention; labels are
+/// drawn from static sets so metric registration never allocates on the
+/// hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`<crate>.<component>.<name>`).
+    pub name: &'static str,
+    /// Optional `(key, value)` label refinement.
+    pub label: Option<(&'static str, &'static str)>,
+}
+
+impl MetricKey {
+    /// The canonical rendered form, `name` or `name{key=value}`.
+    pub fn render(&self) -> String {
+        match self.label {
+            Some((k, v)) => format!("{}{{{}={}}}", self.name, k, v),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value `v` satisfies
+/// `2^(i-1) ≤ v < 2^i` (bucket 0 counts `v == 0`), i.e. the bucket index
+/// is the sample's bit length. Recording is three relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        // value == u64::MAX has bit length 64; clamp into the top bucket.
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of one counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Rendered metric key (`name` or `name{key=value}`).
+    pub key: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Rendered metric key.
+    pub key: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Non-empty `(bucket_index, count)` pairs; bucket `i` covers
+    /// `[2^(i-1), 2^i)` with bucket 0 holding zeros.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Owns all counters and histograms for one scope (usually the process,
+/// via [`global`]; tests may build private registries).
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<MetricKey, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<MetricKey, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `key`, creating it on first use.
+    /// The returned handle stays valid (and keeps counting into this
+    /// registry) for the registry's lifetime; [`Registry::reset`] zeroes
+    /// values without invalidating handles.
+    pub fn counter(&self, key: MetricKey) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The histogram registered under `key`, creating it on first use.
+    pub fn histogram(&self, key: MetricKey) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(&key) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::default())),
+        )
+    }
+
+    /// Snapshot of all counters with non-zero values (sorted by key).
+    pub fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        self.counters
+            .read()
+            .iter()
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(k, c)| CounterSnapshot {
+                key: k.render(),
+                value: c.get(),
+            })
+            .collect()
+    }
+
+    /// Snapshot of all histograms with samples (sorted by key).
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.histograms
+            .read()
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| HistogramSnapshot {
+                key: k.render(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                buckets: h
+                    .buckets()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, n)| n > 0)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Total across every counter sharing `name`, regardless of label.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Zeroes all metrics **in place**: cached handles (e.g. the
+    /// per-call-site `OnceLock`s behind `counter!`) remain valid.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+        for h in self.histograms.read().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry used by the `counter!` / `histogram!`
+/// macros.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: MetricKey = MetricKey {
+        name: "test.registry.counter",
+        label: None,
+    };
+
+    #[test]
+    fn counter_identity_is_stable() {
+        let reg = Registry::new();
+        let a = reg.counter(KEY);
+        let b = reg.counter(KEY);
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter(KEY).get(), 5);
+        reg.reset();
+        assert_eq!(a.get(), 0);
+        a.inc();
+        assert_eq!(b.get(), 1, "handles stay live across reset");
+    }
+
+    #[test]
+    fn labels_split_metrics_and_totals_merge_them() {
+        let reg = Registry::new();
+        let hit = MetricKey {
+            name: "test.cache.requests",
+            label: Some(("outcome", "hit")),
+        };
+        let miss = MetricKey {
+            name: "test.cache.requests",
+            label: Some(("outcome", "miss")),
+        };
+        reg.counter(hit).add(7);
+        reg.counter(miss).add(3);
+        assert_eq!(reg.counter_total("test.cache.requests"), 10);
+        let snaps = reg.counter_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert!(snaps
+            .iter()
+            .any(|s| s.key == "test.cache.requests{outcome=hit}" && s.value == 7));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        h.record(u64::MAX); // clamped to bucket 63
+        assert_eq!(h.count(), 6);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[2], 2);
+        assert_eq!(buckets[11], 1);
+        assert_eq!(buckets[63], 1);
+        let wrapped_sum = 1030u64.wrapping_add(u64::MAX); // sum wraps on overflow
+        assert!((h.mean() - wrapped_sum as f64 / 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshots_skip_empty_metrics() {
+        let reg = Registry::new();
+        reg.counter(KEY); // registered but never incremented
+        assert!(reg.counter_snapshots().is_empty());
+        assert!(reg.histogram_snapshots().is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Run reports: a serializable snapshot of all spans, counters, and
+//! histograms, written as JSON under `results/obs/`.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::level;
+use crate::registry::{global, CounterSnapshot, HistogramSnapshot};
+use crate::span::snapshot_spans;
+
+/// A span as it appears in a run report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name (`<crate>.<component>.<name>`).
+    pub name: String,
+    /// Index of the parent span within [`RunReport::spans`], if nested.
+    pub parent: Option<usize>,
+    /// Id of the recording thread (stable within one report).
+    pub thread: u64,
+    /// Start offset from the process obs epoch, microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds; 0 when the span was still open at
+    /// capture time.
+    pub duration_us: u64,
+}
+
+/// A point-in-time snapshot of the whole observability state for one
+/// named run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Run identifier (suite/figure name, bench id, ...).
+    pub run: String,
+    /// Level that was active at capture time.
+    pub level: String,
+    /// All finished spans, parents before children.
+    pub spans: Vec<SpanSnapshot>,
+    /// Non-zero counters, sorted by key.
+    pub counters: Vec<CounterSnapshot>,
+    /// Non-empty histograms, sorted by key.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RunReport {
+    /// Snapshots the global registry and span store under the name
+    /// `run`. Does not reset anything; pair with
+    /// [`crate::global()`]`.reset()` / [`crate::reset_spans`] between
+    /// runs if per-run deltas are wanted.
+    pub fn capture(run: &str) -> RunReport {
+        let reg = global();
+        RunReport {
+            run: run.to_string(),
+            level: level::level().name().to_string(),
+            spans: snapshot_spans()
+                .into_iter()
+                .map(|s| SpanSnapshot {
+                    name: s.name.to_string(),
+                    parent: s.parent,
+                    thread: s.thread,
+                    start_us: s.start_us,
+                    duration_us: s.duration_us.unwrap_or(0),
+                })
+                .collect(),
+            counters: reg.counter_snapshots(),
+            histograms: reg.histogram_snapshots(),
+        }
+    }
+
+    /// Total across every counter whose metric name (label stripped)
+    /// equals `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| {
+                c.key == name
+                    || c.key
+                        .strip_suffix('}')
+                        .is_some_and(|k| k.starts_with(&format!("{name}{{")))
+            })
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Value {
+        let mut root = serde_json::Map::new();
+        root.insert("run".into(), Value::from(self.run.as_str()));
+        root.insert("level".into(), Value::from(self.level.as_str()));
+        root.insert(
+            "spans".into(),
+            Value::Array(
+                self.spans
+                    .iter()
+                    .map(|s| {
+                        let mut m = serde_json::Map::new();
+                        m.insert("name".into(), Value::from(s.name.as_str()));
+                        m.insert(
+                            "parent".into(),
+                            s.parent.map_or(Value::Null, |p| Value::from(p as u64)),
+                        );
+                        m.insert("thread".into(), Value::from(s.thread));
+                        m.insert("start_us".into(), Value::from(s.start_us));
+                        m.insert("duration_us".into(), Value::from(s.duration_us));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "counters".into(),
+            Value::Array(
+                self.counters
+                    .iter()
+                    .map(|c| {
+                        let mut m = serde_json::Map::new();
+                        m.insert("key".into(), Value::from(c.key.as_str()));
+                        m.insert("value".into(), Value::from(c.value));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".into(),
+            Value::Array(
+                self.histograms
+                    .iter()
+                    .map(|h| {
+                        let mut m = serde_json::Map::new();
+                        m.insert("key".into(), Value::from(h.key.as_str()));
+                        m.insert("count".into(), Value::from(h.count));
+                        m.insert("sum".into(), Value::from(h.sum));
+                        m.insert("mean".into(), Value::from(h.mean));
+                        m.insert(
+                            "buckets".into(),
+                            Value::Array(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(i, n)| {
+                                        Value::Array(vec![Value::from(i as u64), Value::from(n)])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+
+    /// Rebuilds a report from its JSON form (inverse of
+    /// [`RunReport::to_json`]); `None` when the shape does not match.
+    pub fn from_json(v: &Value) -> Option<RunReport> {
+        let spans = v
+            .get("spans")?
+            .as_array()?
+            .iter()
+            .map(|s| {
+                Some(SpanSnapshot {
+                    name: s.get("name")?.as_str()?.to_string(),
+                    parent: match s.get("parent")? {
+                        Value::Null => None,
+                        p => Some(p.as_u64()? as usize),
+                    },
+                    thread: s.get("thread")?.as_u64()?,
+                    start_us: s.get("start_us")?.as_u64()?,
+                    duration_us: s.get("duration_us")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let counters = v
+            .get("counters")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some(CounterSnapshot {
+                    key: c.get("key")?.as_str()?.to_string(),
+                    value: c.get("value")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let histograms = v
+            .get("histograms")?
+            .as_array()?
+            .iter()
+            .map(|h| {
+                Some(HistogramSnapshot {
+                    key: h.get("key")?.as_str()?.to_string(),
+                    count: h.get("count")?.as_u64()?,
+                    sum: h.get("sum")?.as_u64()?,
+                    mean: h.get("mean")?.as_f64()?,
+                    buckets: h
+                        .get("buckets")?
+                        .as_array()?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_array()?;
+                            Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
+                        })
+                        .collect::<Option<Vec<_>>>()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(RunReport {
+            run: v.get("run")?.as_str()?.to_string(),
+            level: v.get("level")?.as_str()?.to_string(),
+            spans,
+            counters,
+            histograms,
+        })
+    }
+}
+
+/// Writes `report` as pretty-printed JSON to `<dir>/<run>.json`
+/// (creating `dir`), sanitizing the run name for use as a file stem.
+/// Returns the written path.
+pub fn write_report(dir: &Path, report: &RunReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem: String = report
+        .run
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{stem}.json"));
+    let text = serde_json::to_string_pretty(&report.to_json())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = RunReport {
+            run: "unit".into(),
+            level: "full".into(),
+            spans: vec![
+                SpanSnapshot {
+                    name: "a.b.c".into(),
+                    parent: None,
+                    thread: 1,
+                    start_us: 5,
+                    duration_us: 40,
+                },
+                SpanSnapshot {
+                    name: "a.b.d".into(),
+                    parent: Some(0),
+                    thread: 1,
+                    start_us: 7,
+                    duration_us: 12,
+                },
+            ],
+            counters: vec![CounterSnapshot {
+                key: "x.y.z{reason=width}".into(),
+                value: 9,
+            }],
+            histograms: vec![HistogramSnapshot {
+                key: "x.slot.duration_us".into(),
+                count: 3,
+                sum: 12,
+                mean: 4.0,
+                buckets: vec![(2, 1), (3, 2)],
+            }],
+        };
+        let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
+        let parsed = serde_json::from_str(&text).expect("report JSON parses");
+        let back = RunReport::from_json(&parsed).expect("shape matches");
+        assert_eq!(back.run, report.run);
+        assert_eq!(back.spans, report.spans);
+        assert_eq!(back.counters, report.counters);
+        assert_eq!(back.histograms, report.histograms);
+    }
+
+    #[test]
+    fn counter_total_merges_labels() {
+        let report = RunReport {
+            run: "unit".into(),
+            level: "counters".into(),
+            spans: vec![],
+            counters: vec![
+                CounterSnapshot {
+                    key: "c.ch.rejected{reason=width}".into(),
+                    value: 2,
+                },
+                CounterSnapshot {
+                    key: "c.ch.rejected{reason=disconnected}".into(),
+                    value: 3,
+                },
+                CounterSnapshot {
+                    key: "c.ch.rejected".into(),
+                    value: 1,
+                },
+                CounterSnapshot {
+                    key: "c.ch.rejected_other".into(),
+                    value: 100,
+                },
+            ],
+            histograms: vec![],
+        };
+        assert_eq!(report.counter_total("c.ch.rejected"), 6);
+    }
+
+    #[test]
+    fn write_report_sanitizes_run_names() {
+        let dir = std::env::temp_dir().join("qnet_obs_report_test");
+        let report = RunReport {
+            run: "fig 7/b".into(),
+            level: "off".into(),
+            spans: vec![],
+            counters: vec![],
+            histograms: vec![],
+        };
+        let path = write_report(&dir, &report).expect("write succeeds");
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), "fig_7_b.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = serde_json::from_str(&text).expect("file parses");
+        assert_eq!(parsed.get("run").and_then(|r| r.as_str()), Some("fig 7/b"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hierarchical timing spans.
+//!
+//! A span records a name, its parent span, the owning thread, and a
+//! monotonic start/duration pair. Spans only exist at
+//! [`ObsLevel::Full`]; below that, [`enter`] returns an inert guard
+//! without touching any shared state.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::level::{enabled, ObsLevel};
+
+/// One finished (or still-open) span as stored in the collector.
+#[derive(Clone, Debug)]
+pub(crate) struct SpanRecord {
+    /// Static span name, e.g. `core.prim_based.solve`.
+    pub name: &'static str,
+    /// Index of the parent span in the store, if nested.
+    pub parent: Option<usize>,
+    /// Arbitrary id distinguishing the recording thread.
+    pub thread: u64,
+    /// Start offset from the process obs epoch, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds; `None` while the span is open.
+    pub duration_us: Option<u64>,
+}
+
+struct Store {
+    spans: Mutex<Vec<SpanRecord>>,
+    epoch: Instant,
+}
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(|| Store {
+        spans: Mutex::new(Vec::new()),
+        epoch: Instant::now(),
+    })
+}
+
+thread_local! {
+    /// Innermost open span on this thread (index into the store).
+    static CURRENT: Cell<Option<usize>> = const { Cell::new(None) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        if id.get() == 0 {
+            static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+            id.set(NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+/// Guard returned by [`enter`]; ends the span when dropped.
+///
+/// The inert form (level below `Full`) carries no state and its drop is
+/// a no-op.
+#[must_use = "a span ends when its guard drops; bind it to a variable"]
+pub struct SpanGuard {
+    /// `Some((index, start))` when the span is live.
+    live: Option<(usize, Instant)>,
+}
+
+/// Opens a span named `name` under the innermost open span of this
+/// thread. Returns an inert guard below [`ObsLevel::Full`].
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !enabled(ObsLevel::Full) {
+        return SpanGuard { live: None };
+    }
+    let store = store();
+    let start = Instant::now();
+    let parent = CURRENT.with(|c| c.get());
+    let record = SpanRecord {
+        name,
+        parent,
+        thread: thread_id(),
+        start_us: start.duration_since(store.epoch).as_micros() as u64,
+        duration_us: None,
+    };
+    let index = {
+        let mut spans = store.spans.lock();
+        spans.push(record);
+        spans.len() - 1
+    };
+    CURRENT.with(|c| c.set(Some(index)));
+    SpanGuard {
+        live: Some((index, start)),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((index, start)) = self.live else {
+            return;
+        };
+        let elapsed = start.elapsed().as_micros() as u64;
+        let store = store();
+        let mut spans = store.spans.lock();
+        if let Some(record) = spans.get_mut(index) {
+            record.duration_us = Some(elapsed);
+            let parent = record.parent;
+            CURRENT.with(|c| c.set(parent));
+        }
+    }
+}
+
+/// Copies out every recorded span (open spans have `duration_us: None`).
+pub(crate) fn snapshot_spans() -> Vec<SpanRecord> {
+    store().spans.lock().clone()
+}
+
+/// Clears the span store. Open guards from before the reset will write
+/// their duration into whatever record now occupies their index, so only
+/// reset between runs, not mid-span.
+pub fn reset_spans() {
+    store().spans.lock().clear();
+    CURRENT.with(|c| c.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::set_level;
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let _serial = crate::serial_guard();
+        set_level(ObsLevel::Full);
+        reset_spans();
+        {
+            let _outer = enter("test.span.outer");
+            {
+                let _inner = enter("test.span.inner");
+            }
+            let _sibling = enter("test.span.sibling");
+        }
+        let spans = snapshot_spans();
+        set_level(ObsLevel::Counters);
+        assert_eq!(spans.len(), 3);
+        let outer = spans
+            .iter()
+            .position(|s| s.name == "test.span.outer")
+            .unwrap();
+        let inner = &spans[spans
+            .iter()
+            .position(|s| s.name == "test.span.inner")
+            .unwrap()];
+        let sibling = &spans[spans
+            .iter()
+            .position(|s| s.name == "test.span.sibling")
+            .unwrap()];
+        assert_eq!(spans[outer].parent, None);
+        assert_eq!(inner.parent, Some(outer));
+        assert_eq!(
+            sibling.parent,
+            Some(outer),
+            "parent restored after inner closed"
+        );
+        assert!(spans.iter().all(|s| s.duration_us.is_some()));
+    }
+
+    #[test]
+    fn below_full_no_spans_are_recorded() {
+        let _serial = crate::serial_guard();
+        set_level(ObsLevel::Counters);
+        reset_spans();
+        {
+            let _g = enter("test.span.suppressed");
+        }
+        assert!(snapshot_spans().is_empty());
+    }
+}

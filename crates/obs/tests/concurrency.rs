@@ -1,0 +1,140 @@
+//! Concurrency guarantees: counters and histograms accept increments
+//! from many threads without losing a single event.
+//!
+//! Lives in its own integration-test binary so the global registry and
+//! level it mutates are isolated from the unit tests' process.
+
+use std::sync::Mutex;
+
+use qnet_obs::{global, MetricKey, ObsLevel};
+
+/// Tests in this file share process-global obs state; run them one at
+/// a time even under the default parallel harness.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const THREADS: usize = 8;
+const INCREMENTS: u64 = 25_000;
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    let _serial = serial();
+    qnet_obs::set_level(ObsLevel::Counters);
+    global().reset();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|_| {
+                for _ in 0..INCREMENTS {
+                    qnet_obs::counter!("test.concurrency.hits");
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+
+    let report = qnet_obs::RunReport::capture("concurrency");
+    assert_eq!(
+        report.counter_total("test.concurrency.hits"),
+        THREADS as u64 * INCREMENTS,
+        "every increment from every thread must be observed exactly once"
+    );
+}
+
+#[test]
+fn concurrent_labeled_counters_stay_separate() {
+    let _serial = serial();
+    qnet_obs::set_level(ObsLevel::Counters);
+    global().reset();
+
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move |_| {
+                for _ in 0..INCREMENTS {
+                    if t % 2 == 0 {
+                        qnet_obs::counter!("test.concurrency.rejected", reason = "even");
+                    } else {
+                        qnet_obs::counter!("test.concurrency.rejected", reason = "odd");
+                    }
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+
+    let per_label = (THREADS as u64 / 2) * INCREMENTS;
+    let even = global()
+        .counter(MetricKey {
+            name: "test.concurrency.rejected",
+            label: Some(("reason", "even")),
+        })
+        .get();
+    let odd = global()
+        .counter(MetricKey {
+            name: "test.concurrency.rejected",
+            label: Some(("reason", "odd")),
+        })
+        .get();
+    assert_eq!(even, per_label);
+    assert_eq!(odd, per_label);
+    let report = qnet_obs::RunReport::capture("concurrency-labels");
+    assert_eq!(
+        report.counter_total("test.concurrency.rejected"),
+        THREADS as u64 * INCREMENTS,
+        "totals across labels must merge without loss"
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_are_exact() {
+    let _serial = serial();
+    qnet_obs::set_level(ObsLevel::Counters);
+    global().reset();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|_| {
+                for v in 0..INCREMENTS {
+                    qnet_obs::histogram!("test.concurrency.latency_us", v);
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+
+    let h = global().histogram(MetricKey {
+        name: "test.concurrency.latency_us",
+        label: None,
+    });
+    let n = THREADS as u64 * INCREMENTS;
+    assert_eq!(h.count(), n);
+    // Each thread records 0..INCREMENTS, summing to I*(I-1)/2.
+    let per_thread_sum = INCREMENTS * (INCREMENTS - 1) / 2;
+    assert_eq!(h.sum(), THREADS as u64 * per_thread_sum);
+}
+
+#[test]
+fn off_level_records_nothing() {
+    let _serial = serial();
+    qnet_obs::set_level(ObsLevel::Off);
+    global().reset();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|_| {
+                for _ in 0..100 {
+                    qnet_obs::counter!("test.concurrency.dark");
+                    qnet_obs::histogram!("test.concurrency.dark_us", 1);
+                }
+            });
+        }
+    })
+    .expect("no worker panicked");
+
+    let report = qnet_obs::RunReport::capture("off");
+    assert_eq!(report.counter_total("test.concurrency.dark"), 0);
+    assert!(report.histograms.is_empty());
+    qnet_obs::set_level(ObsLevel::Counters);
+}

@@ -1,0 +1,166 @@
+//! Golden-file coverage for the run-report JSON format.
+//!
+//! `tests/golden/report.json` is the checked-in serialization of a
+//! fixed report. The tests pin the on-disk format (so accidental schema
+//! drift fails loudly) and prove the full round trip: golden bytes →
+//! `from_json` → `RunReport` → `to_json` → identical golden bytes.
+//!
+//! Regenerate after an intentional schema change with
+//! `UPDATE_GOLDEN=1 cargo test -p qnet-obs --test golden_report`.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use qnet_obs::{CounterSnapshot, HistogramSnapshot, ObsLevel, RunReport, SpanSnapshot};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("report.json")
+}
+
+/// A fixed report exercising every field: nested and cross-thread
+/// spans, a still-open span (duration 0), labeled and bare counters,
+/// and a histogram with sparse buckets.
+fn fixture() -> RunReport {
+    RunReport {
+        run: "golden".into(),
+        level: "full".into(),
+        spans: vec![
+            SpanSnapshot {
+                name: "core.prim_based.solve".into(),
+                parent: None,
+                thread: 1,
+                start_us: 10,
+                duration_us: 950,
+            },
+            SpanSnapshot {
+                name: "core.prim_based.round".into(),
+                parent: Some(0),
+                thread: 1,
+                start_us: 12,
+                duration_us: 430,
+            },
+            SpanSnapshot {
+                name: "exp.runner.mean_rates".into(),
+                parent: None,
+                thread: 2,
+                start_us: 15,
+                duration_us: 0,
+            },
+        ],
+        counters: vec![
+            CounterSnapshot {
+                key: "core.channel.rejected{reason=qubit_capacity}".into(),
+                value: 41,
+            },
+            CounterSnapshot {
+                key: "graph.dijkstra.calls".into(),
+                value: 7,
+            },
+        ],
+        histograms: vec![HistogramSnapshot {
+            key: "sim.slot.duration_us".into(),
+            count: 4,
+            sum: 22,
+            mean: 5.5,
+            buckets: vec![(2, 1), (3, 3)],
+        }],
+    }
+}
+
+fn render(report: &RunReport) -> String {
+    let mut text = serde_json::to_string_pretty(&report.to_json()).expect("report serializes");
+    text.push('\n');
+    text
+}
+
+#[test]
+fn golden_file_matches_serialized_fixture() {
+    let _serial = serial();
+    let path = golden_path();
+    let expected = render(&fixture());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &expected).unwrap();
+        return;
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, expected,
+        "run-report JSON schema drifted; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_through_the_typed_report() {
+    let _serial = serial();
+    let on_disk = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let value = serde_json::from_str(&on_disk).expect("golden file is valid JSON");
+    let report = RunReport::from_json(&value).expect("golden file matches the report shape");
+
+    let fix = fixture();
+    assert_eq!(report.run, fix.run);
+    assert_eq!(report.level, fix.level);
+    assert_eq!(report.spans, fix.spans);
+    assert_eq!(report.counters, fix.counters);
+    assert_eq!(report.histograms, fix.histograms);
+    assert_eq!(render(&report), on_disk, "to_json(from_json(x)) == x");
+}
+
+#[test]
+fn live_capture_preserves_span_nesting_and_order() {
+    let _serial = serial();
+    qnet_obs::set_level(ObsLevel::Full);
+    qnet_obs::global().reset();
+    qnet_obs::reset_spans();
+
+    {
+        let _outer = qnet_obs::span!("test.golden.outer");
+        {
+            let _mid = qnet_obs::span!("test.golden.mid");
+            let _inner = qnet_obs::span!("test.golden.inner");
+        }
+        let _sibling = qnet_obs::span!("test.golden.sibling");
+    }
+
+    let report = RunReport::capture("live");
+    let names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "test.golden.outer",
+            "test.golden.mid",
+            "test.golden.inner",
+            "test.golden.sibling"
+        ],
+        "spans appear in open order, parents before children"
+    );
+    assert_eq!(report.spans[0].parent, None);
+    assert_eq!(report.spans[1].parent, Some(0));
+    assert_eq!(report.spans[2].parent, Some(1));
+    assert_eq!(
+        report.spans[3].parent,
+        Some(0),
+        "sibling re-attaches to outer"
+    );
+
+    // And the live capture survives its own JSON round trip.
+    let value = serde_json::from_str(&render(&report)).expect("live report parses");
+    let back = RunReport::from_json(&value).expect("live report shape matches");
+    assert_eq!(back.spans, report.spans);
+
+    qnet_obs::set_level(ObsLevel::Counters);
+    qnet_obs::reset_spans();
+}

@@ -229,7 +229,10 @@ impl BufferedTree {
         attenuation: f64,
         cutoff: u32,
     ) -> Self {
-        assert!(!channel_lengths.is_empty(), "a tree has at least one channel");
+        assert!(
+            !channel_lengths.is_empty(),
+            "a tree has at least one channel"
+        );
         BufferedTree {
             channels: channel_lengths
                 .into_iter()
@@ -241,7 +244,11 @@ impl BufferedTree {
     /// The synchronized model's expected slots to entangle everyone:
     /// `1 / P_tree` (geometric waiting on Eq. 2).
     pub fn synchronized_expected_slots(&self) -> f64 {
-        let p: f64 = self.channels.iter().map(BufferedChannel::synchronized_rate).product();
+        let p: f64 = self
+            .channels
+            .iter()
+            .map(BufferedChannel::synchronized_rate)
+            .product();
         1.0 / p
     }
 
@@ -254,8 +261,11 @@ impl BufferedTree {
         for _ in 0..trials {
             let mut done = vec![false; self.channels.len()];
             // Per-channel link ages, as in BufferedChannel::run.
-            let mut ages: Vec<Vec<Option<u32>>> =
-                self.channels.iter().map(|c| vec![None; c.links()]).collect();
+            let mut ages: Vec<Vec<Option<u32>>> = self
+                .channels
+                .iter()
+                .map(|c| vec![None; c.links()])
+                .collect();
             let mut slots = 0u64;
             while !done.iter().all(|&d| d) {
                 slots += 1;
@@ -270,8 +280,7 @@ impl BufferedTree {
                             Some(a) => *a += 1,
                             None => {}
                         }
-                        if slot_age.is_none()
-                            && channel.link.attempt(channel.lengths[i], &mut rng)
+                        if slot_age.is_none() && channel.link.attempt(channel.lengths[i], &mut rng)
                         {
                             *slot_age = Some(0);
                         }
@@ -325,7 +334,10 @@ mod tests {
         let sync = channel(0).run(80_000, 6).point();
         let buf2 = channel(2).run(80_000, 6).point();
         let buf8 = channel(8).run(80_000, 6).point();
-        assert!(buf2 > sync * 1.2, "cutoff 2 should clearly help: {buf2} vs {sync}");
+        assert!(
+            buf2 > sync * 1.2,
+            "cutoff 2 should clearly help: {buf2} vs {sync}"
+        );
         assert!(buf8 >= buf2, "longer memory never hurts: {buf8} vs {buf2}");
     }
 
@@ -346,7 +358,10 @@ mod tests {
         let c = channel(50);
         let est = c.run(80_000, 8).point();
         let bottleneck = (-0.5f64).exp(); // worst link: 5000 km
-        assert!(est <= bottleneck, "rate {est} exceeds bottleneck {bottleneck}");
+        assert!(
+            est <= bottleneck,
+            "rate {est} exceeds bottleneck {bottleneck}"
+        );
     }
 
     #[test]
@@ -390,7 +405,10 @@ mod tests {
     fn buffering_also_speeds_tree_completion() {
         let slow = tree(0).mean_slots_to_completion(400, 12);
         let fast = tree(4).mean_slots_to_completion(400, 12);
-        assert!(fast < slow, "cutoff 4 should complete faster: {fast} vs {slow}");
+        assert!(
+            fast < slow,
+            "cutoff 4 should complete faster: {fast} vs {slow}"
+        );
     }
 
     #[test]

@@ -95,7 +95,16 @@ impl Simulator {
     /// protocol step. The observer never perturbs the RNG stream, so
     /// traced and untraced runs produce identical statistics.
     pub fn run_slot_observed(&mut self, obs: &mut dyn FnMut(crate::trace::Event)) -> bool {
-        let outcome = self.run_slot_inner(obs);
+        let outcome = if qnet_obs::enabled(qnet_obs::ObsLevel::Counters) {
+            let outcome = self.run_slot_inner(&mut |e| {
+                crate::trace::obs_bridge(e);
+                obs(e);
+            });
+            crate::trace::obs_bridge(crate::trace::Event::SlotOutcome { success: outcome });
+            outcome
+        } else {
+            self.run_slot_inner(obs)
+        };
         obs(crate::trace::Event::SlotOutcome { success: outcome });
         outcome
     }
@@ -191,11 +200,17 @@ impl Simulator {
 
     /// Simulates `n` slots and aggregates the statistics.
     pub fn run_slots(&mut self, n: u64) -> SlotStats {
+        let _span = qnet_obs::span!("sim.engine.run_slots");
+        let timed = qnet_obs::enabled(qnet_obs::ObsLevel::Counters);
         let mut stats = SlotStats::default();
         for _ in 0..n {
+            let t0 = timed.then(std::time::Instant::now);
             stats.trials += 1;
             if self.run_slot() {
                 stats.successes += 1;
+            }
+            if let Some(t0) = t0 {
+                qnet_obs::histogram!("sim.slot.duration_us", t0.elapsed().as_micros() as u64);
             }
         }
         stats

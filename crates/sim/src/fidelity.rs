@@ -77,7 +77,10 @@ pub struct PurificationStep {
 ///
 /// Panics when `f ∉ [0, 1]`.
 pub fn purify(f: f64) -> PurificationStep {
-    assert!((0.0..=1.0).contains(&f), "fidelity must be in [0, 1], got {f}");
+    assert!(
+        (0.0..=1.0).contains(&f),
+        "fidelity must be in [0, 1], got {f}"
+    );
     let bad = (1.0 - f) / 3.0;
     let success_prob = (f + bad) * (f + bad) + (2.0 * bad) * (2.0 * bad);
     let fidelity = (f * f + bad * bad) / success_prob;

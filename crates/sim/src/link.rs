@@ -50,9 +50,7 @@ mod tests {
         let m = LinkModel { attenuation: 1e-4 };
         let mut rng = StdRng::seed_from_u64(1);
         let trials = 50_000;
-        let hits = (0..trials)
-            .filter(|_| m.attempt(5000.0, &mut rng))
-            .count() as f64;
+        let hits = (0..trials).filter(|_| m.attempt(5000.0, &mut rng)).count() as f64;
         let p = m.success_prob(5000.0); // ≈ 0.6065
         let sigma = (p * (1.0 - p) / trials as f64).sqrt();
         assert!(

@@ -13,13 +13,17 @@ pub struct Interval {
 
 impl Interval {
     /// `true` when `p` lies within the interval (inclusive).
+    ///
+    /// NaN is never contained — neither as `p` nor when either bound is
+    /// NaN — and an empty interval (`lo > hi`) contains nothing.
     pub fn contains(&self, p: f64) -> bool {
         (self.lo..=self.hi).contains(&p)
     }
 
-    /// Interval width.
+    /// Interval width; 0 for empty intervals (`lo > hi`) rather than a
+    /// negative number, so widths can be summed and compared safely.
     pub fn width(&self) -> f64 {
-        self.hi - self.lo
+        (self.hi - self.lo).max(0.0)
     }
 }
 
@@ -48,10 +52,14 @@ impl RateEstimate {
     ///
     /// # Panics
     ///
-    /// Panics for zero trials or non-positive `z`.
+    /// Panics for zero trials or a `z` that is not positive and finite
+    /// (NaN and infinities would silently poison both bounds).
     pub fn wilson_interval(&self, z: f64) -> Interval {
         assert!(self.trials > 0, "no trials recorded");
-        assert!(z > 0.0, "z must be positive");
+        assert!(
+            z > 0.0 && z.is_finite(),
+            "z must be positive and finite, got {z}"
+        );
         let n = self.trials as f64;
         let p = self.point();
         let z2 = z * z;
@@ -150,5 +158,68 @@ mod tests {
     #[should_panic(expected = "no trials")]
     fn interval_needs_trials() {
         RateEstimate::default().wilson_interval(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn interval_rejects_nan_z() {
+        let e = RateEstimate {
+            successes: 1,
+            trials: 2,
+        };
+        e.wilson_interval(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn interval_rejects_infinite_z() {
+        let e = RateEstimate {
+            successes: 1,
+            trials: 2,
+        };
+        e.wilson_interval(f64::INFINITY);
+    }
+
+    #[test]
+    fn contains_is_inclusive_at_both_ends() {
+        let iv = Interval { lo: 0.25, hi: 0.75 };
+        assert!(iv.contains(0.25));
+        assert!(iv.contains(0.75));
+        assert!(iv.contains(0.5));
+        assert!(!iv.contains(0.25 - 1e-12));
+        assert!(!iv.contains(0.75 + 1e-12));
+    }
+
+    #[test]
+    fn degenerate_interval_contains_only_its_point() {
+        let iv = Interval { lo: 0.5, hi: 0.5 };
+        assert!(iv.contains(0.5));
+        assert!(!iv.contains(0.5 + f64::EPSILON));
+        assert_eq!(iv.width(), 0.0);
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing_and_has_zero_width() {
+        let iv = Interval { lo: 0.7, hi: 0.3 };
+        assert!(!iv.contains(0.5));
+        assert!(!iv.contains(0.7));
+        assert!(!iv.contains(0.3));
+        assert_eq!(iv.width(), 0.0, "width must clamp, not go negative");
+    }
+
+    #[test]
+    fn nan_is_never_contained() {
+        let iv = Interval { lo: 0.0, hi: 1.0 };
+        assert!(!iv.contains(f64::NAN));
+        let nan_lo = Interval {
+            lo: f64::NAN,
+            hi: 1.0,
+        };
+        assert!(!nan_lo.contains(0.5));
+        let nan_hi = Interval {
+            lo: 0.0,
+            hi: f64::NAN,
+        };
+        assert!(!nan_hi.contains(0.5));
     }
 }

@@ -196,7 +196,7 @@ impl RoutingPlan {
     pub fn fits_capacity(&self, capacity: &HashMap<usize, u32>) -> bool {
         self.qubit_demand()
             .iter()
-            .all(|(node, need)| capacity.get(node).map_or(true, |have| need <= have))
+            .all(|(node, need)| capacity.get(node).is_none_or(|have| need <= have))
     }
 
     /// The analytic end-to-end rate: Eq. 2 for trees; the channel product

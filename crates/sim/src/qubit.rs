@@ -111,30 +111,22 @@ pub fn assign(
     let mut next_slot: HashMap<usize, u32> = HashMap::new();
     let mut out = Assignment::default();
 
-    let mut take = |node: usize,
-                    usage: SlotUse,
-                    out: &mut Assignment|
-     -> Result<(), CapacityExceeded> {
-        let idx = next_slot.entry(node).or_insert(0);
-        if let Some(&cap) = capacity.get(&node) {
-            if *idx >= cap {
-                return Err(CapacityExceeded {
-                    node,
-                    demanded: *idx + 1,
-                    available: cap,
-                });
+    let mut take =
+        |node: usize, usage: SlotUse, out: &mut Assignment| -> Result<(), CapacityExceeded> {
+            let idx = next_slot.entry(node).or_insert(0);
+            if let Some(&cap) = capacity.get(&node) {
+                if *idx >= cap {
+                    return Err(CapacityExceeded {
+                        node,
+                        demanded: *idx + 1,
+                        available: cap,
+                    });
+                }
             }
-        }
-        out.uses.push((
-            Slot {
-                node,
-                index: *idx,
-            },
-            usage,
-        ));
-        *idx += 1;
-        Ok(())
-    };
+            out.uses.push((Slot { node, index: *idx }, usage));
+            *idx += 1;
+            Ok(())
+        };
 
     for (ci, channel) in plan.channels.iter().enumerate() {
         for (pos, &node) in channel.nodes.iter().enumerate() {

@@ -46,6 +46,42 @@ pub enum Event {
     },
 }
 
+/// Forwards one protocol event into the `qnet-obs` counter registry
+/// (`sim.link.attempts{outcome=…}`, `sim.swap.attempts{…}`,
+/// `sim.fusion.attempts{…}`, `sim.slot.outcomes{…}`).
+///
+/// The engine taps every observed slot through this bridge whenever the
+/// observability level admits counters, so Monte-Carlo runs surface
+/// their protocol-step totals without a custom observer.
+pub fn obs_bridge(event: Event) {
+    match event {
+        Event::LinkAttempt { success: true, .. } => {
+            qnet_obs::counter!("sim.link.attempts", outcome = "success");
+        }
+        Event::LinkAttempt { success: false, .. } => {
+            qnet_obs::counter!("sim.link.attempts", outcome = "failure");
+        }
+        Event::Swap { success: true, .. } => {
+            qnet_obs::counter!("sim.swap.attempts", outcome = "success");
+        }
+        Event::Swap { success: false, .. } => {
+            qnet_obs::counter!("sim.swap.attempts", outcome = "failure");
+        }
+        Event::Fusion { success: true, .. } => {
+            qnet_obs::counter!("sim.fusion.attempts", outcome = "success");
+        }
+        Event::Fusion { success: false, .. } => {
+            qnet_obs::counter!("sim.fusion.attempts", outcome = "failure");
+        }
+        Event::SlotOutcome { success: true } => {
+            qnet_obs::counter!("sim.slot.outcomes", outcome = "success");
+        }
+        Event::SlotOutcome { success: false } => {
+            qnet_obs::counter!("sim.slot.outcomes", outcome = "failure");
+        }
+    }
+}
+
 /// An observer collecting every event of the observed slots.
 #[derive(Clone, Debug, Default)]
 pub struct Recorder {

@@ -25,11 +25,7 @@ fn arb_tree_plan() -> impl Strategy<Value = RoutingPlan> {
             }
             nodes.push(0);
             flags.push(false);
-            specs.push(ChannelSpec::new(
-                nodes,
-                lens[..links].to_vec(),
-                &flags,
-            ));
+            specs.push(ChannelSpec::new(nodes, lens[..links].to_vec(), &flags));
         }
         RoutingPlan::tree(specs)
     })

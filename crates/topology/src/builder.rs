@@ -95,7 +95,7 @@ pub fn ensure_connected<R: Rng>(g: SpatialGraph, rng: &mut R) -> SpatialGraph {
             for b in (a + 1)..g.node_count() {
                 if labels[a] != labels[b] {
                     let d = g.node(NodeId::new(a)).distance(*g.node(NodeId::new(b)));
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, a, b));
                     }
                 }
@@ -106,14 +106,10 @@ pub fn ensure_connected<R: Rng>(g: SpatialGraph, rng: &mut R) -> SpatialGraph {
         // Remove one random non-bridge edge to keep |E| constant, but never
         // one we cannot afford (a forest keeps all edges).
         let bridge_set: std::collections::HashSet<_> = bridges(&g).into_iter().collect();
-        let removable: Vec<_> = g
-            .edge_ids()
-            .filter(|e| !bridge_set.contains(e))
-            .collect();
+        let removable: Vec<_> = g.edge_ids().filter(|e| !bridge_set.contains(e)).collect();
         let to_remove = removable.choose(rng).copied();
 
-        let mut next: SpatialGraph =
-            Graph::with_capacity(g.node_count(), g.edge_count() + 1);
+        let mut next: SpatialGraph = Graph::with_capacity(g.node_count(), g.edge_count() + 1);
         for n in g.node_ids() {
             next.add_node(*g.node(n));
         }

@@ -45,8 +45,8 @@ pub mod point;
 pub mod reference;
 pub mod spec;
 pub mod volchenkov;
-pub mod waxman;
 pub mod watts_strogatz;
+pub mod waxman;
 
 pub use point::Point;
 pub use spec::{SpatialGraph, TopologyKind, TopologySpec};

@@ -31,20 +31,62 @@ const fn km(lat: f64, lon: f64) -> Point {
 
 /// The 14 NSFNET sites with approximate coordinates.
 pub const NSFNET_SITES: [Site; 14] = [
-    Site { name: "Seattle", position: km(47.6, -122.3) },
-    Site { name: "Palo Alto", position: km(37.4, -122.1) },
-    Site { name: "San Diego", position: km(32.7, -117.2) },
-    Site { name: "Salt Lake City", position: km(40.8, -111.9) },
-    Site { name: "Boulder", position: km(40.0, -105.3) },
-    Site { name: "Lincoln", position: km(40.8, -96.7) },
-    Site { name: "Champaign", position: km(40.1, -88.2) },
-    Site { name: "Houston", position: km(29.8, -95.4) },
-    Site { name: "Ann Arbor", position: km(42.3, -83.7) },
-    Site { name: "Pittsburgh", position: km(40.4, -80.0) },
-    Site { name: "Ithaca", position: km(42.4, -76.5) },
-    Site { name: "College Park", position: km(39.0, -76.9) },
-    Site { name: "Princeton", position: km(40.4, -74.7) },
-    Site { name: "Atlanta", position: km(33.7, -84.4) },
+    Site {
+        name: "Seattle",
+        position: km(47.6, -122.3),
+    },
+    Site {
+        name: "Palo Alto",
+        position: km(37.4, -122.1),
+    },
+    Site {
+        name: "San Diego",
+        position: km(32.7, -117.2),
+    },
+    Site {
+        name: "Salt Lake City",
+        position: km(40.8, -111.9),
+    },
+    Site {
+        name: "Boulder",
+        position: km(40.0, -105.3),
+    },
+    Site {
+        name: "Lincoln",
+        position: km(40.8, -96.7),
+    },
+    Site {
+        name: "Champaign",
+        position: km(40.1, -88.2),
+    },
+    Site {
+        name: "Houston",
+        position: km(29.8, -95.4),
+    },
+    Site {
+        name: "Ann Arbor",
+        position: km(42.3, -83.7),
+    },
+    Site {
+        name: "Pittsburgh",
+        position: km(40.4, -80.0),
+    },
+    Site {
+        name: "Ithaca",
+        position: km(42.4, -76.5),
+    },
+    Site {
+        name: "College Park",
+        position: km(39.0, -76.9),
+    },
+    Site {
+        name: "Princeton",
+        position: km(40.4, -74.7),
+    },
+    Site {
+        name: "Atlanta",
+        position: km(33.7, -84.4),
+    },
 ];
 
 /// The 21 NSFNET T1 links (site indices into [`NSFNET_SITES`]).

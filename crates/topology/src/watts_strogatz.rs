@@ -41,7 +41,7 @@ pub fn watts_strogatz<R: Rng>(
     rng: &mut R,
 ) -> SpatialGraph {
     assert!(n >= 3, "need at least three nodes, got {n}");
-    assert!(k % 2 == 0, "ring degree k must be even, got {k}");
+    assert!(k.is_multiple_of(2), "ring degree k must be even, got {k}");
     assert!(k < n, "ring degree k = {k} must be < n = {n}");
     assert!(
         (0.0..=1.0).contains(&params.p_rewire),
@@ -75,11 +75,11 @@ pub fn watts_strogatz<R: Rng>(
     }
 
     // Rewire: with probability p, replace edge (a, b) by (a, random c).
-    for idx in 0..edges.len() {
+    for edge in edges.iter_mut() {
         if !rng.random_bool(params.p_rewire) {
             continue;
         }
-        let (a, b) = edges[idx];
+        let (a, b) = *edge;
         // Draw a replacement endpoint avoiding self-loops and duplicates.
         let mut attempts = 0;
         loop {
@@ -93,7 +93,7 @@ pub fn watts_strogatz<R: Rng>(
             }
             edge_set.remove(&key(a, b));
             edge_set.insert(key(a, c));
-            edges[idx] = (a, c);
+            *edge = (a, c);
             break;
         }
     }
@@ -165,13 +165,12 @@ mod tests {
             let mut count = 0;
             for seed in 0..5u64 {
                 let mut rng = StdRng::seed_from_u64(100 + seed);
-                let g = watts_strogatz(40, 4, 1000.0, WattsStrogatzParams { p_rewire: p }, &mut rng);
+                let g =
+                    watts_strogatz(40, 4, 1000.0, WattsStrogatzParams { p_rewire: p }, &mut rng);
                 for t in 1..g.node_count() {
-                    if let Some(path) = bfs_path(
-                        &g,
-                        qnet_graph::NodeId::new(0),
-                        qnet_graph::NodeId::new(t),
-                    ) {
+                    if let Some(path) =
+                        bfs_path(&g, qnet_graph::NodeId::new(0), qnet_graph::NodeId::new(t))
+                    {
                         total += path.len() as f64;
                         count += 1;
                     }

@@ -97,13 +97,23 @@ mod tests {
     fn short_edges_dominate() {
         let mut rng = StdRng::seed_from_u64(11);
         let g = waxman(80, 6.0, 10_000.0, WaxmanParams::default(), &mut rng);
-        let mean_edge: f64 =
-            g.edge_refs().map(|e| *e.payload).sum::<f64>() / g.edge_count() as f64;
-        // Mean distance of random uniform pairs in a square is ~0.52 * side;
-        // Waxman edges must be considerably shorter on average.
+        let mean_edge: f64 = g.edge_refs().map(|e| *e.payload).sum::<f64>() / g.edge_count() as f64;
+        // Compare against the mean distance over *all* pairs of the same
+        // placed nodes: the Waxman kernel must pull the selected edges
+        // well below that baseline regardless of the RNG stream.
+        let nodes: Vec<_> = g.node_payloads().copied().collect();
+        let mut all_sum = 0.0;
+        let mut all_n = 0u64;
+        for (i, a) in nodes.iter().enumerate() {
+            for b in nodes.iter().skip(i + 1) {
+                all_sum += a.distance(*b);
+                all_n += 1;
+            }
+        }
+        let mean_pair = all_sum / all_n as f64;
         assert!(
-            mean_edge < 0.52 * 10_000.0 * 0.8,
-            "mean edge length {mean_edge} not biased to short pairs"
+            mean_edge < 0.9 * mean_pair,
+            "mean edge length {mean_edge} not biased below uniform-pair mean {mean_pair}"
         );
     }
 

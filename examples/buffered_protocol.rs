@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rec = Recorder::new();
         let ok = sim.run_slot_observed(&mut |e| rec.events.push(e));
         if !ok {
-            println!("  slot {slot}: {} events, first failure: {:?}", rec.len(), rec.first_failure());
+            println!(
+                "  slot {slot}: {} events, first failure: {:?}",
+                rec.len(),
+                rec.first_failure()
+            );
             break;
         }
     }

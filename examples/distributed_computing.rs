@@ -16,7 +16,10 @@ use muerp::core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Scaling a distributed quantum computing cluster ==\n");
-    println!("{:<10} {:>14} {:>14} {:>10}", "cluster", "Alg-3 rate", "Alg-4 rate", "channels");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "cluster", "Alg-3 rate", "Alg-4 rate", "channels"
+    );
 
     for cluster_size in [3usize, 5, 8, 12, 16] {
         let mut spec = NetworkSpec::paper_default();
@@ -53,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{strategy:?}:");
         for (label, o) in ["job A", "job B"].iter().zip(&outcomes) {
             match &o.tree {
-                Ok(t) => println!("  {label}: rate {} ({} channels)", t.rate(), t.channels.len()),
+                Ok(t) => println!(
+                    "  {label}: rate {} ({} channels)",
+                    t.rate(),
+                    t.channels.len()
+                ),
                 Err(e) => println!("  {label}: starved ({e})"),
             }
         }

@@ -54,9 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|c| chain_fidelity(link_fidelity, c.link_count()))
                     .fold(1.0, f64::min);
                 assert!(worst >= floor - 1e-12, "floor violated");
-                println!("{floor:<12} {h:>10} {:>14} {worst:>16.4}", sol.rate.to_string());
+                println!(
+                    "{floor:<12} {h:>10} {:>14} {worst:>16.4}",
+                    sol.rate.to_string()
+                );
             }
-            (Err(e), _) => println!("{floor:<12} {:>10} {:>14} ({e})", hops.map_or(0, |h| h), "0"),
+            (Err(e), _) => println!(
+                "{floor:<12} {:>10} {:>14} ({e})",
+                hops.map_or(0, |h| h),
+                "0"
+            ),
             (Ok(_), None) => unreachable!("a solution implies a positive hop bound"),
         }
     }
@@ -66,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Purification unlocks floors the hop bound cannot reach: distill
     // 2^k raw pairs per channel instead of banning long channels.
     println!("\nHop bound vs BBPSSW purification at extreme floors:");
-    println!("{:<12} {:>16} {:>16}", "floor", "hop-bound rate", "purified rate");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "floor", "hop-bound rate", "purified rate"
+    );
     for floor in [0.975, 0.982, 0.985] {
         let model = FidelityModel {
             link_fidelity,

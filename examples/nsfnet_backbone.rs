@@ -10,8 +10,8 @@
 //! cargo run --example nsfnet_backbone --release
 //! ```
 
-use muerp::core::analysis::solution_stats;
 use muerp::core::algorithms::{refine, LocalSearchOptions};
+use muerp::core::analysis::solution_stats;
 use muerp::core::prelude::*;
 use muerp::graph::NodeId;
 use muerp::topology::reference::{nsfnet, nsfnet_name};
@@ -51,12 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     validate_solution(&net, &sol)?;
                     let refined = refine(&net, sol.clone(), LocalSearchOptions::default());
                     let stats = solution_stats(&net, &refined);
-                    print!(
-                        "{name:<10} rate {:<12}",
-                        refined.rate.to_string()
-                    );
+                    print!("{name:<10} rate {:<12}", refined.rate.to_string());
                     if refined.rate > sol.rate {
-                        print!(" (local search +{:.1}%)", (refined.rate.ratio(sol.rate) - 1.0) * 100.0);
+                        print!(
+                            " (local search +{:.1}%)",
+                            (refined.rate.ratio(sol.rate) - 1.0) * 100.0
+                        );
                     }
                     if let Some((hot, load)) = stats.hottest_switch {
                         print!("  hottest switch: {} ({load} qubits)", nsfnet_name(hot));

@@ -45,9 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nCapacity-driven blocking responds to switch memory (user
-exhaustion does not):");
-    println!("{:<10} {:>12} {:>12}", "qubits", "block @0.7", "mean active");
+    println!(
+        "\nCapacity-driven blocking responds to switch memory (user
+exhaustion does not):"
+    );
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "qubits", "block @0.7", "mean active"
+    );
     for qubits in [2u32, 4, 8, 16] {
         let granted = net.with_uniform_switch_qubits(qubits);
         let stats = simulate_online(

@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the paper's evaluation protocol prescribes.
     let granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
 
-    let report = |name: &str, outcome: Result<Solution, RoutingError>, net: &QuantumNetwork| {
-        match outcome {
+    let report =
+        |name: &str, outcome: Result<Solution, RoutingError>, net: &QuantumNetwork| match outcome {
             Ok(sol) => {
                 validate_solution(net, &sol).expect("algorithms emit valid solutions");
                 let longest = sol
@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             Err(e) => println!("{name:<10} rate = 0 ({e})"),
-        }
-    };
+        };
 
     report("Alg-2", OptimalSufficient.solve(&granted), &granted);
     report("Alg-3", ConflictFree::default().solve(&net), &net);

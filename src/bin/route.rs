@@ -37,10 +37,7 @@ fn parse() -> Result<Args, String> {
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--topology" => {
                 spec.topology.kind = match value("--topology")?.as_str() {
@@ -83,10 +80,12 @@ fn parse() -> Result<Args, String> {
             "--algo" => algo = value("--algo")?,
             "--refine" => want_refine = true,
             "--dot" => dot = true,
-            other => return Err(format!(
+            other => {
+                return Err(format!(
                 "unknown argument: {other}\nusage: route [--topology K] [--switches N] [--users N] \
                  [--qubits Q] [--degree D] [--swap Q] [--seed S] [--algo A] [--refine] [--dot]"
-            )),
+            ))
+            }
         }
     }
     spec.topology.nodes = switches + users;
@@ -183,7 +182,12 @@ fn main() -> ExitCode {
     println!("entanglement rate: {}", sol.rate);
     for c in &sol.channels {
         let hops: Vec<String> = c.path.nodes.iter().map(|n| n.to_string()).collect();
-        println!("  {} ({} links, rate {})", hops.join(" - "), c.link_count(), c.rate);
+        println!(
+            "  {} ({} links, rate {})",
+            hops.join(" - "),
+            c.link_count(),
+            c.rate
+        );
     }
     ExitCode::SUCCESS
 }

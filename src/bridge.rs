@@ -34,11 +34,9 @@ pub fn solution_to_plan(net: &QuantumNetwork, solution: &Solution) -> RoutingPla
         .collect();
     match solution.style {
         SolutionStyle::BsmTree => RoutingPlan::tree(channels),
-        SolutionStyle::FusionStar { center, .. } => RoutingPlan::fusion_star(
-            channels,
-            center.index(),
-            net.kind(center).is_switch(),
-        ),
+        SolutionStyle::FusionStar { center, .. } => {
+            RoutingPlan::fusion_star(channels, center.index(), net.kind(center).is_switch())
+        }
     }
 }
 

@@ -8,6 +8,8 @@
 //! * [`sim`] — Monte-Carlo physical-layer simulator ([`qnet_sim`])
 //! * [`core`] — the paper's algorithms and model ([`muerp_core`])
 //! * [`experiments`] — figure-reproduction harness ([`muerp_experiments`])
+//! * [`obs`] — spans, counters, and run reports behind `MUERP_OBS`
+//!   ([`qnet_obs`])
 //!
 //! # Quickstart
 //!
@@ -27,6 +29,7 @@
 pub use muerp_core as core;
 pub use muerp_experiments as experiments;
 pub use qnet_graph as graph;
+pub use qnet_obs as obs;
 pub use qnet_sim as sim;
 pub use qnet_topology as topology;
 

@@ -75,7 +75,9 @@ fn more_capacity_never_hurts_the_heuristics() {
             let mut spec = base;
             spec.qubits_per_switch = qubits;
             let net = spec.build(seed);
-            let a3 = ConflictFree::default().solve(&net).map_or(0.0, |s| s.rate.value());
+            let a3 = ConflictFree::default()
+                .solve(&net)
+                .map_or(0.0, |s| s.rate.value());
             let a4 = PrimBased::with_seed(seed)
                 .solve(&net)
                 .map_or(0.0, |s| s.rate.value());
@@ -83,10 +85,16 @@ fn more_capacity_never_hurts_the_heuristics() {
             // but a capacity increase must never flip a feasible instance
             // infeasible.
             if last_a3 > 0.0 {
-                assert!(a3 > 0.0, "Alg-3 lost feasibility at Q={qubits}, seed {seed}");
+                assert!(
+                    a3 > 0.0,
+                    "Alg-3 lost feasibility at Q={qubits}, seed {seed}"
+                );
             }
             if last_a4 > 0.0 {
-                assert!(a4 > 0.0, "Alg-4 lost feasibility at Q={qubits}, seed {seed}");
+                assert!(
+                    a4 > 0.0,
+                    "Alg-4 lost feasibility at Q={qubits}, seed {seed}"
+                );
             }
             last_a3 = a3;
             last_a4 = a4;
@@ -202,8 +210,7 @@ fn lattice_topology_corner_users() {
         let a4 = PrimBased::default().solve(&net);
         for (name, outcome) in [("Alg-3", &a3), ("Alg-4", &a4)] {
             if let Ok(sol) = outcome {
-                validate_solution(&net, sol)
-                    .unwrap_or_else(|e| panic!("{name} Q={qubits}: {e}"));
+                validate_solution(&net, sol).unwrap_or_else(|e| panic!("{name} Q={qubits}: {e}"));
                 assert_eq!(sol.channels.len(), 3);
                 // Corner-to-corner needs ≥ 4 links on this grid.
                 for c in &sol.channels {

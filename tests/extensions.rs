@@ -1,9 +1,7 @@
 //! Integration tests for the paper's two named extensions, exercised
 //! through the public facade.
 
-use muerp::core::extensions::{
-    route_groups, FidelityAwarePrim, FidelityModel, GroupStrategy,
-};
+use muerp::core::extensions::{route_groups, FidelityAwarePrim, FidelityModel, GroupStrategy};
 use muerp::core::prelude::*;
 use muerp::sim::fidelity::chain_fidelity;
 
@@ -49,7 +47,11 @@ fn concurrent_groups_share_the_network_consistently() {
         spec.users = 12;
         let net = spec.build(seed);
         let users = net.users();
-        let groups = [users[..4].to_vec(), users[4..8].to_vec(), users[8..].to_vec()];
+        let groups = [
+            users[..4].to_vec(),
+            users[4..8].to_vec(),
+            users[8..].to_vec(),
+        ];
         for strategy in [GroupStrategy::Sequential, GroupStrategy::RoundRobin] {
             let outcomes = route_groups(&net, &groups, strategy);
             assert_eq!(outcomes.len(), 3);

@@ -47,8 +47,12 @@ fn greedy_heuristics_are_strictly_suboptimal_on_the_trap() {
     let expected = 0.9 * (-0.11f64).exp() * 0.9 * (-0.12f64).exp();
     assert!((best - expected).abs() < 1e-9, "oracle rate {best}");
 
-    let a3 = ConflictFree::default().solve(&net).expect("alg-3 finds a tree");
-    let a4 = PrimBased::default().solve(&net).expect("alg-4 finds a tree");
+    let a3 = ConflictFree::default()
+        .solve(&net)
+        .expect("alg-3 finds a tree");
+    let a4 = PrimBased::default()
+        .solve(&net)
+        .expect("alg-4 finds a tree");
     // Both greedy methods fall into the trap: ≈ 0.8143 × 0.3311.
     let trapped = 0.9 * (-0.10f64).exp() * 0.9 * (-1.0f64).exp();
     for (name, sol) in [("Alg-3", &a3), ("Alg-4", &a4)] {
@@ -144,7 +148,10 @@ fn oracle_scales_to_five_users() {
     g.add_edge(switches[0], switches[1], 900.0);
     g.add_edge(switches[1], switches[2], 950.0);
     let net = QuantumNetwork::from_graph(g, PhysicsParams::paper_default());
-    let oracle = exhaustive_optimal(&net, 6).expect("feasible").rate().value();
+    let oracle = exhaustive_optimal(&net, 6)
+        .expect("feasible")
+        .rate()
+        .value();
     let alg2 = OptimalSufficient.solve(&net).unwrap().rate.value();
     assert!(
         (oracle - alg2).abs() <= 1e-9 * oracle,

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! calibrated wall-clock loop: each benchmark is warmed up, then timed
+//! over enough iterations to fill a short measurement window, and the
+//! mean ns/iteration is printed. No statistics, plots, or baselines.
+//!
+//! Honors `MUERP_BENCH_QUICK=1` to shrink the measurement window (used
+//! by CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+    window: Duration,
+}
+
+/// One benchmark's measurement outcome.
+#[derive(Clone, Copy, Debug)]
+struct MeasuredRun {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Calibrates and times `routine`, recording mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run until ~10% of the window is spent,
+        // doubling the batch each time.
+        let calibration_budget = self.window / 10;
+        let mut batch: u64 = 1;
+        let calib_start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if calib_start.elapsed() >= calibration_budget || batch >= (1 << 20) {
+                break;
+            }
+            batch *= 2;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / (2 * batch - 1) as f64;
+        let iterations =
+            ((self.window.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.measured = Some(MeasuredRun {
+            iterations,
+            total: start.elapsed(),
+        });
+    }
+}
+
+fn measurement_window() -> Duration {
+    if std::env::var_os("MUERP_BENCH_QUICK").is_some_and(|v| v == *"1") {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+fn run_and_report(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measured: None,
+        window: measurement_window(),
+    };
+    f(&mut b);
+    match b.measured {
+        Some(m) => {
+            let ns = m.total.as_secs_f64() * 1e9 / m.iterations as f64;
+            println!("{label:<50} {:>14.1} ns/iter  ({} iters)", ns, m.iterations);
+        }
+        None => println!("{label:<50} (no measurement — b.iter never called)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_and_report(&id.into().id, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub's timing loop calibrates
+    /// itself, so the value is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_and_report(&format!("{}/{}", self.name, id.into().id), f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_and_report(&format!("{}/{}", self.name, id.into().id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("MUERP_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 3 * 3));
+        g.finish();
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! [`scope`] wraps `std::thread::scope` behind crossbeam's signature:
+//! the closure receives a [`Scope`] handle whose `spawn` passes the scope
+//! back to the spawned closure, and the call returns `Err` (instead of
+//! unwinding) when any spawned thread panicked.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A handle for spawning threads inside a [`scope`] call.
+///
+/// `Copy` so it can be handed by value to spawned closures (crossbeam
+/// passes `&Scope`; every caller in this workspace binds it `|_|`, so
+/// the by-value shape is compatible).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives this scope so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(scope))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns; a panic
+/// in any of them is reported as `Err` rather than propagated.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+/// crossbeam exposes scoped threads under `crossbeam::thread` too.
+pub mod thread_scope {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_passed_scope() {
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds hermetically (no crates.io), and nothing in it
+//! drives serde's data model directly — `derive(Serialize, Deserialize)`
+//! is applied to types only so downstream users *could* serialize them.
+//! Here the traits are markers with blanket impls and the derives are
+//! no-ops, which keeps every `#[derive(..)]` and trait bound compiling
+//! unchanged. Actual JSON serialization in this workspace goes through
+//! the explicit converters in `qnet-obs` and the vendored `serde_json`
+//! value type.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types (blanket-implemented).
+pub trait DeserializeOwned: Sized {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Re-export of the no-op derive macros under the usual names.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The vendored `serde` stub blanket-implements its marker traits, so
+//! these derives only need to accept the syntax (including `#[serde(..)]`
+//! attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing; the vendored serde
+/// crate blanket-implements the marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing; the vendored
+/// serde crate blanket-implements the marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,697 @@
+//! Offline stand-in for `serde_json`, centred on [`Value`].
+//!
+//! Unlike the vendored `serde` marker stub, this crate is *functional*:
+//! [`Value`] round-trips through [`to_string`] / [`from_str`] with full
+//! string escaping, nested arrays/objects, and the usual number handling
+//! (integers preserved exactly up to `u64`/`i64`, floats via shortest
+//! round-trip formatting). Object keys keep insertion order.
+//!
+//! The `qnet-obs` run reports build [`Value`] trees explicitly instead of
+//! deriving serializers, so observability output is real JSON even in a
+//! hermetic build.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The map type behind [`Value::Object`] (upstream's `serde_json::Map`).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object. Keys are sorted (BTreeMap) for deterministic output.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything else.
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_f64() == other.as_f64()
+            && self.as_u64() == other.as_u64()
+            && self.as_i64() == other.as_i64()
+    }
+}
+
+impl Number {
+    /// The value as `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) => u64::try_from(n).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64` when it is a representable integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(Number::PosInt(n))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(Number::PosInt(n as u64))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(Number::PosInt(n as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        if n >= 0 {
+            Value::Number(Number::PosInt(n as u64))
+        } else {
+            Value::Number(Number::NegInt(n))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere or when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `self` as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `self` as an `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `self` as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `self` as an `i64`, when it is a representable integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `self` as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `self` as an array, when it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `self` as an object map, when it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; a missing key or non-object yields `Null`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-range or non-array yields `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // Keep floats recognizable as floats on re-parse.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no Inf/NaN; standard serde_json emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes a [`Value`] to compact JSON.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, v, None, 0);
+    Ok(s)
+}
+
+/// Serializes a [`Value`] to human-readable JSON (2-space indent).
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, v, Some(2), 0);
+    Ok(s)
+}
+
+/// A parse error with byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain UTF-8 bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = obj(&[
+            ("name", Value::from("solver")),
+            ("count", Value::from(42u64)),
+            ("neg", Value::from(-7i64)),
+            ("pi", Value::from(3.25)),
+            ("flag", Value::from(true)),
+            ("none", Value::Null),
+            (
+                "items",
+                Value::from(vec![Value::from(1u64), Value::from("two")]),
+            ),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "quote \" backslash \\ newline \n tab \t unicode ✓ null \u{0} emoji 🚀";
+        let v = Value::from(nasty);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn integers_preserved_exactly() {
+        let v = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MIN));
+        let v = from_str("1.5e3").unwrap();
+        assert_eq!(v.as_f64(), Some(1500.0));
+    }
+
+    #[test]
+    fn float_reserialization_stays_float() {
+        let v = Value::from(2.0f64);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str(&s).unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"\\x\"",
+            "1 2",
+            "\"unterminated",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn indexing_is_total() {
+        let v = from_str(r#"{"a": [10, 20]}"#).unwrap();
+        assert_eq!(v["a"][1].as_u64(), Some(20));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["a"][9], Value::Null);
+        assert_eq!(v[0], Value::Null);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&Value::from(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::from(f64::INFINITY)).unwrap(), "null");
+    }
+}
