@@ -1,0 +1,175 @@
+//! Fresh-alloc vs reusable-workspace vs epoch-cached search paths.
+//!
+//! Every MUERP algorithm bottoms out in Algorithm 1's Dijkstra search;
+//! this bench quantifies the three ways of invoking it that the search
+//! workspace layer introduced:
+//!
+//! * **fresh** — the compatibility wrappers (`dijkstra`,
+//!   `ChannelFinder::from_source`, `k_shortest_paths`): a private
+//!   workspace is allocated per call and the result is materialized into
+//!   owned buffers.
+//! * **workspace** — the `_in` entry points on one long-lived
+//!   [`DijkstraWorkspace`]: generation-stamped O(1) reset, zero
+//!   steady-state allocation, borrowed result views.
+//! * **cached** — [`ChannelFinderCache`] keyed by `(source, capacity
+//!   epoch)`: repeat queries under unchanged capacity skip the search
+//!   entirely; a `refresh` row shows the in-place re-run cost after an
+//!   epoch bump.
+//!
+//! Run with `cargo bench -p muerp-bench --bench search_core`. Writes the
+//! tracked baseline `BENCH_pr2.json` at the repo root (all numbers in
+//! ns/op; each op covers *all* user sources, so per-search cost is
+//! op / 10). `MUERP_BENCH_QUICK=1` shrinks the measurement window for CI
+//! smoke runs — the file is still produced, the numbers are only good
+//! for "did it run".
+
+use muerp_bench::{measure_ns_median, quick_mode, scaled_network, write_bench_report};
+use muerp_core::algorithms::{ChannelFinder, ChannelFinderCache};
+use muerp_core::prelude::*;
+use qnet_graph::ksp::{k_shortest_paths, k_shortest_paths_in};
+use qnet_graph::paths::{dijkstra, dijkstra_into, DijkstraConfig, DijkstraWorkspace};
+use qnet_graph::{EdgeRef, NodeId};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const KSP_K: usize = 5;
+
+/// The MUERP edge cost and relay filter, spelled out at the graph layer
+/// (mirrors `ChannelFinder::from_source`) so the raw-Dijkstra rows
+/// measure the same search the finder performs.
+fn muerp_config<'a>(
+    net: &'a QuantumNetwork,
+    capacity: &'a CapacityMap,
+) -> DijkstraConfig<impl Fn(EdgeRef<'_, f64>) -> f64 + 'a, impl Fn(NodeId) -> bool + 'a> {
+    let alpha = net.physics().attenuation;
+    let neg_ln_q = -(net.physics().swap_success.ln());
+    DijkstraConfig {
+        edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
+        can_relay: move |v: NodeId| net.kind(v).is_switch() && capacity.can_relay(v),
+    }
+}
+
+fn bench_topology(label: &str, switches: usize, seed: u64) -> Value {
+    let net = scaled_network(switches, seed);
+    let capacity = CapacityMap::new(&net);
+    let users = net.users().to_vec();
+    let cfg = muerp_config(&net, &capacity);
+
+    // --- Raw Dijkstra: one all-sources sweep per op. ---
+    let dijkstra_fresh = measure_ns_median(|| {
+        for &u in &users {
+            black_box(dijkstra(net.graph(), u, &cfg));
+        }
+    });
+    let mut ws = DijkstraWorkspace::with_capacity(net.graph().node_count());
+    let dijkstra_workspace = measure_ns_median(|| {
+        for &u in &users {
+            let view = dijkstra_into(&mut ws, net.graph(), u, &cfg);
+            black_box(view.distance(users[0]));
+        }
+    });
+
+    // --- Algorithm 1 finder: sweep + one channel recovery per source. ---
+    let finder_fresh = measure_ns_median(|| {
+        for &u in &users {
+            let finder = ChannelFinder::from_source(&net, &capacity, u);
+            black_box(finder.channel_to(users[0]));
+        }
+    });
+    let finder_workspace = measure_ns_median(|| {
+        for &u in &users {
+            let finder = ChannelFinder::from_source_in(&mut ws, &net, &capacity, u);
+            black_box(finder.channel_to(users[0]));
+        }
+    });
+    let mut cache = ChannelFinderCache::new(&net);
+    // Warm the cache so the measured loop is pure epoch hits.
+    for &u in &users {
+        cache.finder(&capacity, u);
+    }
+    let finder_cached = measure_ns_median(|| {
+        for &u in &users {
+            black_box(cache.finder(&capacity, u).channel_to(users[0]));
+        }
+    });
+    // Refresh path: bump the epoch each op, forcing one in-place re-run
+    // per source (steady-state miss cost, no allocation).
+    let mut refresh_capacity = capacity.clone();
+    let probe = ChannelFinder::from_source(&net, &capacity, users[0])
+        .channel_to(users[1])
+        .expect("paper-default networks connect their users");
+    let finder_refresh = measure_ns_median(|| {
+        refresh_capacity.reserve(&probe);
+        refresh_capacity.release(&probe);
+        for &u in &users {
+            black_box(cache.finder(&refresh_capacity, u).channel_to(users[0]));
+        }
+    });
+
+    // --- Yen KSP between the first user pair. ---
+    let (a, b) = (users[0], users[1]);
+    let ksp_fresh = measure_ns_median(|| {
+        black_box(k_shortest_paths(net.graph(), a, b, KSP_K, &cfg));
+    });
+    let ksp_workspace = measure_ns_median(|| {
+        black_box(k_shortest_paths_in(&mut ws, net.graph(), a, b, KSP_K, &cfg));
+    });
+
+    let rows = [
+        ("dijkstra_fresh_ns", dijkstra_fresh),
+        ("dijkstra_workspace_ns", dijkstra_workspace),
+        ("finder_fresh_ns", finder_fresh),
+        ("finder_workspace_ns", finder_workspace),
+        ("finder_cached_ns", finder_cached),
+        ("finder_refresh_ns", finder_refresh),
+        ("ksp_fresh_ns", ksp_fresh),
+        ("ksp_workspace_ns", ksp_workspace),
+    ];
+    println!("search_core/{label} ({switches} switches):");
+    for (name, ns) in rows {
+        println!("  {name:<24} {ns:>14.1} ns/op");
+    }
+
+    let mut obj: BTreeMap<String, Value> = BTreeMap::new();
+    obj.insert("switches".into(), Value::from(switches as u64));
+    obj.insert("users".into(), Value::from(users.len() as u64));
+    for (name, ns) in rows {
+        obj.insert(name.into(), Value::from(ns));
+    }
+    obj.insert(
+        "speedup_workspace_vs_fresh".into(),
+        Value::from(dijkstra_fresh / dijkstra_workspace),
+    );
+    obj.insert(
+        "speedup_cached_vs_fresh".into(),
+        Value::from(finder_fresh / finder_cached),
+    );
+    Value::Object(obj)
+}
+
+fn main() {
+    // Deterministic numbers need a stable instrumentation level.
+    qnet_obs::set_level(qnet_obs::ObsLevel::Off);
+
+    let mut topologies: BTreeMap<String, Value> = BTreeMap::new();
+    topologies.insert(
+        "paper_default".into(),
+        bench_topology("paper_default", 50, 42),
+    );
+    // The quick (CI smoke) run skips the large topology: the point there
+    // is report shape, not numbers.
+    if !quick_mode() {
+        topologies.insert("waxman_240".into(), bench_topology("waxman_240", 240, 42));
+    }
+
+    let mut report: BTreeMap<String, Value> = BTreeMap::new();
+    report.insert("bench".into(), Value::from("search_core"));
+    report.insert("pr".into(), Value::from(2u64));
+    report.insert("quick".into(), Value::from(quick_mode()));
+    report.insert("unit".into(), Value::from("ns per all-user-sources op"));
+    report.insert("topologies".into(), Value::Object(topologies));
+
+    let path = write_bench_report("BENCH_pr2.json", &Value::Object(report));
+    println!("wrote {}", path.display());
+}

@@ -106,12 +106,13 @@ impl NFusion {
         let mut center_holds: u32 = 0;
 
         let mut channels: Vec<Channel> = Vec::with_capacity(incoming);
+        let mut ws = qnet_graph::DijkstraWorkspace::with_capacity(net.graph().node_count());
         for &u in users {
             if u == center {
                 continue;
             }
             // Re-run the finder per user on *current* residual capacity.
-            let finder = ChannelFinder::from_source(net, &capacity, u);
+            let finder = ChannelFinder::from_source_in(&mut ws, net, &capacity, u);
             let c = finder.channel_to(center)?;
             // Reject paths relaying through the center's remaining
             // qubits when those are pledged to incoming holds: interior

@@ -19,7 +19,7 @@ use crate::rate::Rate;
 use crate::solver::{RoutingAlgorithm, Solution};
 use crate::tree::EntanglementTree;
 
-use super::channel_finder::ChannelFinder;
+use super::channel_finder::ChannelFinderCache;
 
 /// Beam-search tree growth.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +97,11 @@ impl BeamSearch {
             tree: EntanglementTree::new(),
             rate: Rate::ONE,
         }];
+        // States carry diverged capacity clones, so a (source, epoch)
+        // entry hits only for states sharing an unmutated lineage — but
+        // even a miss refreshes in place, keeping the search
+        // allocation-free across the whole beam.
+        let mut cache = ChannelFinderCache::new(net);
 
         for _round in 1..users.len() {
             let mut expansions: Vec<State> = Vec::new();
@@ -104,7 +109,7 @@ impl BeamSearch {
                 // Top candidate channels crossing this state's cut.
                 let mut candidates: Vec<Channel> = Vec::new();
                 for &src in users.iter().filter(|u| state.in_tree[u.index()]) {
-                    let finder = ChannelFinder::from_source(net, &state.capacity, src);
+                    let finder = cache.finder(&state.capacity, src);
                     for &dst in users.iter().filter(|u| !state.in_tree[u.index()]) {
                         if let Some(c) = finder.channel_to(dst) {
                             candidates.push(c);

@@ -10,11 +10,61 @@
 //! (the pseudocode's line 11 guard `Q ≥ 2`); users never relay — a channel
 //! passes "through vertices in R" (Definition 2).
 
-use qnet_graph::paths::{dijkstra, DijkstraConfig, DijkstraRun};
+use std::cell::Cell;
+
+use qnet_graph::paths::{dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraWorkspace};
 use qnet_graph::{EdgeRef, NodeId};
 
 use crate::channel::{CapacityMap, Channel};
 use crate::model::QuantumNetwork;
+
+/// Runs the Algorithm-1 search from `source` and leaves the result in
+/// `ws`; the caller materializes it however it likes (fresh
+/// [`DijkstraRun`] or in-place refresh of an existing one).
+///
+/// This is the one place the `α·L − ln q` cost and the capacity-aware
+/// relay filter are defined; [`ChannelFinder`] and
+/// [`ChannelFinderCache`] both route through it.
+fn run_algorithm1<'w>(
+    ws: &'w mut DijkstraWorkspace,
+    net: &QuantumNetwork,
+    capacity: &CapacityMap,
+    source: NodeId,
+) -> qnet_graph::DijkstraView<'w> {
+    let q = net.physics().swap_success;
+    let alpha = net.physics().attenuation;
+    // Edge cost α·L − ln q (non-negative since q ≤ 1). A degenerate
+    // q = 0 makes every swap impossible; only direct user-user fibers
+    // (zero swaps) remain usable, which we express by forbidding all
+    // relaying while keeping single edges finite.
+    let neg_ln_q = if q > 0.0 { -(q.ln()) } else { 0.0 };
+    let swaps_possible = q > 0.0;
+    // Dijkstra consults the relay filter at most once per vertex per run
+    // (settled vertices are never re-queried), so this tally counts
+    // *distinct* full switches for this run — flushed once below instead
+    // of paying an atomic per rejection inside the search.
+    let rejected_full = Cell::new(0u64);
+    let cfg = DijkstraConfig {
+        edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
+        can_relay: |v: NodeId| {
+            if !(swaps_possible && net.kind(v).is_switch()) {
+                return false;
+            }
+            if !capacity.can_relay(v) {
+                rejected_full.set(rejected_full.get() + 1);
+                return false;
+            }
+            true
+        },
+    };
+    qnet_obs::counter!("core.channel.finder_runs");
+    let view = dijkstra_into(ws, net.graph(), source, &cfg);
+    let n = rejected_full.get();
+    if n > 0 {
+        qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity"; n);
+    }
+    view
+}
 
 /// A single-source Algorithm-1 run: max-rate channels from one user to
 /// every other reachable user, under a residual capacity map.
@@ -33,34 +83,35 @@ impl<'n> ChannelFinder<'n> {
     /// Every interior vertex of any returned channel is a switch with at
     /// least 2 free qubits *in the given map*; the map is not mutated
     /// (reservation is the caller's decision).
+    ///
+    /// Allocates a private search workspace; callers in a loop should
+    /// hold a [`DijkstraWorkspace`] and use
+    /// [`ChannelFinder::from_source_in`] — or better, a
+    /// [`ChannelFinderCache`].
     pub fn from_source(net: &'n QuantumNetwork, capacity: &CapacityMap, source: NodeId) -> Self {
-        let q = net.physics().swap_success;
-        let alpha = net.physics().attenuation;
-        // Edge cost α·L − ln q (non-negative since q ≤ 1). A degenerate
-        // q = 0 makes every swap impossible; only direct user-user fibers
-        // (zero swaps) remain usable, which we express by forbidding all
-        // relaying while keeping single edges finite.
-        let neg_ln_q = if q > 0.0 { -(q.ln()) } else { 0.0 };
-        let swaps_possible = q > 0.0;
-        let cfg = DijkstraConfig {
-            edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
-            can_relay: {
-                let cap = capacity.clone();
-                move |v: NodeId| {
-                    if !(swaps_possible && net.kind(v).is_switch()) {
-                        return false;
-                    }
-                    if !cap.can_relay(v) {
-                        qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity");
-                        return false;
-                    }
-                    true
-                }
-            },
-        };
-        qnet_obs::counter!("core.channel.finder_runs");
-        let run = dijkstra(net.graph(), source, &cfg);
+        let mut ws = DijkstraWorkspace::new();
+        Self::from_source_in(&mut ws, net, capacity, source)
+    }
+
+    /// [`ChannelFinder::from_source`] on a caller-provided workspace: the
+    /// search itself allocates nothing, only the materialized run does.
+    pub fn from_source_in(
+        ws: &mut DijkstraWorkspace,
+        net: &'n QuantumNetwork,
+        capacity: &CapacityMap,
+        source: NodeId,
+    ) -> Self {
+        let run = run_algorithm1(ws, net, capacity, source).to_run();
         ChannelFinder { net, run }
+    }
+
+    /// Re-runs the search from this finder's source under a (possibly
+    /// changed) capacity map, overwriting the stored run in place — the
+    /// steady-state refresh path of [`ChannelFinderCache`], free of
+    /// allocation once buffers have reached graph size.
+    fn refresh_in(&mut self, ws: &mut DijkstraWorkspace, capacity: &CapacityMap) {
+        let source = self.run.source();
+        run_algorithm1(ws, self.net, capacity, source).write_run(&mut self.run);
     }
 
     /// The source user of this run.
@@ -110,6 +161,77 @@ pub fn max_rate_channel(
     b: NodeId,
 ) -> Option<Channel> {
     ChannelFinder::from_source(net, capacity, a).channel_to(b)
+}
+
+/// Memoizes single-source Algorithm-1 runs across solver rounds.
+///
+/// Greedy solvers (Prim-based, Algorithm 3/4, beam search, local search)
+/// re-run the same sources many times between capacity changes. Each
+/// cache entry is keyed by the capacity map's [`epoch`]: a lookup whose
+/// stored epoch matches the current map returns the memoized finder with
+/// no search at all; a mismatch re-runs the search *in place* over the
+/// entry's buffers (and the cache's shared [`DijkstraWorkspace`]), so
+/// steady-state misses allocate nothing either.
+///
+/// Correctness rests on two invariants (see DESIGN.md):
+///
+/// * epochs are process-globally unique per mutation, so epoch equality
+///   implies content equality even across diverged clones;
+/// * Algorithm 1's result depends only on (network, capacity, source) —
+///   the network is fixed per cache, capacity is pinned by the epoch.
+///
+/// Hits and misses are observable as `core.channel.cache_hits` /
+/// `core.channel.cache_misses`.
+///
+/// [`epoch`]: CapacityMap::epoch
+pub struct ChannelFinderCache<'n> {
+    net: &'n QuantumNetwork,
+    ws: DijkstraWorkspace,
+    /// Indexed by source node; each entry stores the epoch its run was
+    /// computed under.
+    entries: Vec<Option<(u64, ChannelFinder<'n>)>>,
+}
+
+impl<'n> ChannelFinderCache<'n> {
+    /// An empty cache for `net`; entries populate lazily per source.
+    pub fn new(net: &'n QuantumNetwork) -> Self {
+        let nodes = net.graph().node_count();
+        ChannelFinderCache {
+            net,
+            ws: DijkstraWorkspace::with_capacity(nodes),
+            entries: (0..nodes).map(|_| None).collect(),
+        }
+    }
+
+    /// The Algorithm-1 run from `source` under `capacity`, reused when
+    /// `capacity` has not changed since the entry was computed.
+    pub fn finder(&mut self, capacity: &CapacityMap, source: NodeId) -> &ChannelFinder<'n> {
+        let idx = source.index();
+        let epoch = capacity.epoch();
+        match &mut self.entries[idx] {
+            Some((cached, _)) if *cached == epoch => {
+                qnet_obs::counter!("core.channel.cache_hits");
+            }
+            Some((cached, finder)) => {
+                qnet_obs::counter!("core.channel.cache_misses");
+                finder.refresh_in(&mut self.ws, capacity);
+                *cached = epoch;
+            }
+            entry @ None => {
+                qnet_obs::counter!("core.channel.cache_misses");
+                *entry = Some((
+                    epoch,
+                    ChannelFinder::from_source_in(&mut self.ws, self.net, capacity, source),
+                ));
+            }
+        }
+        &self.entries[idx].as_ref().expect("entry just populated").1
+    }
+
+    /// [`max_rate_channel`] through the cache.
+    pub fn channel(&mut self, capacity: &CapacityMap, a: NodeId, b: NodeId) -> Option<Channel> {
+        self.finder(capacity, a).channel_to(b)
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ use crate::model::QuantumNetwork;
 use crate::solver::{RoutingAlgorithm, Solution};
 use crate::tree::EntanglementTree;
 
-use super::channel_finder::ChannelFinder;
+use super::channel_finder::ChannelFinderCache;
 use super::optimal::OptimalSufficient;
 
 /// The paper's **Algorithm 3**.
@@ -115,12 +115,15 @@ impl RoutingAlgorithm for ConflictFree {
         // Phase 2: reconnect the unions greedily on residual capacity.
         let _phase2 = qnet_obs::span!("core.conflict_free.reconnect");
         let users = net.users();
+        // Sources repeat across reconnection rounds; the cache re-runs a
+        // source only after a reservation changed capacity.
+        let mut cache = ChannelFinderCache::new(net);
         while !all_connected(&mut uf, users) {
             qnet_obs::counter!("core.conflict_free.reconnections");
             let mut best: Option<Channel> = None;
             for (i, &src) in users.iter().enumerate() {
                 // One Algorithm-1 run per source covers all destinations.
-                let finder = ChannelFinder::from_source(net, &capacity, src);
+                let finder = cache.finder(&capacity, src);
                 for &dst in &users[i + 1..] {
                     if uf.same_set_nodes(src, dst) {
                         continue;

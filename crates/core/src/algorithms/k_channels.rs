@@ -5,8 +5,8 @@
 //! capacity conflict can be resolved by "second-best here, best there".
 //! This is Yen's algorithm under the MUERP edge cost and relay filter.
 
-use qnet_graph::ksp::k_shortest_paths;
-use qnet_graph::paths::DijkstraConfig;
+use qnet_graph::ksp::k_shortest_paths_in;
+use qnet_graph::paths::{DijkstraConfig, DijkstraWorkspace};
 use qnet_graph::{EdgeRef, NodeId};
 
 use crate::channel::{CapacityMap, Channel};
@@ -15,7 +15,24 @@ use crate::model::QuantumNetwork;
 /// The `k` highest-rate channels between users `a` and `b` under the
 /// residual `capacity`, sorted by rate descending. Fewer are returned
 /// when fewer admissible simple channels exist.
+///
+/// Allocates a private search workspace; callers in a loop should hold a
+/// [`DijkstraWorkspace`] and use [`k_best_channels_in`].
 pub fn k_best_channels(
+    net: &QuantumNetwork,
+    capacity: &CapacityMap,
+    a: NodeId,
+    b: NodeId,
+    k: usize,
+) -> Vec<Channel> {
+    let mut ws = DijkstraWorkspace::new();
+    k_best_channels_in(&mut ws, net, capacity, a, b, k)
+}
+
+/// [`k_best_channels`] on a caller-provided workspace: every spur search
+/// of the underlying Yen run reuses the same buffers.
+pub fn k_best_channels_in(
+    ws: &mut DijkstraWorkspace,
     net: &QuantumNetwork,
     capacity: &CapacityMap,
     a: NodeId,
@@ -32,12 +49,11 @@ pub fn k_best_channels(
     }
     let alpha = net.physics().attenuation;
     let neg_ln_q = -(q.ln());
-    let cap = capacity.clone();
     let cfg = DijkstraConfig {
         edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
-        can_relay: move |v: NodeId| net.kind(v).is_switch() && cap.can_relay(v),
+        can_relay: |v: NodeId| net.kind(v).is_switch() && capacity.can_relay(v),
     };
-    k_shortest_paths(net.graph(), a, b, k, &cfg)
+    k_shortest_paths_in(ws, net.graph(), a, b, k, &cfg)
         .into_iter()
         .map(|p| Channel::from_path(net, p))
         .collect()

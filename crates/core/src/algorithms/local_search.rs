@@ -22,7 +22,7 @@
 
 use std::collections::HashSet;
 
-use qnet_graph::{NodeId, UnionFind};
+use qnet_graph::{DijkstraWorkspace, NodeId, UnionFind};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{CapacityMap, Channel};
@@ -32,7 +32,7 @@ use crate::rate::Rate;
 use crate::solver::{RoutingAlgorithm, Solution, SolutionStyle};
 use crate::tree::EntanglementTree;
 
-use super::k_channels::k_best_channels;
+use super::k_channels::k_best_channels_in;
 
 /// Local-search configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,12 +66,14 @@ pub fn refine(net: &QuantumNetwork, solution: Solution, options: LocalSearchOpti
     let mut tree = EntanglementTree {
         channels: solution.channels,
     };
+    // One workspace serves every k-best-channels query of every move.
+    let mut ws = DijkstraWorkspace::with_capacity(net.graph().node_count());
     for _ in 0..options.max_rounds {
         let _round = qnet_obs::span!("core.local_search.round");
         qnet_obs::counter!("core.local_search.rounds");
-        let mut improved = improve_once(net, &mut tree, 1, options.k_candidates);
+        let mut improved = improve_once(net, &mut tree, 1, options.k_candidates, &mut ws);
         if options.pair_moves {
-            improved |= improve_once(net, &mut tree, 2, options.k_candidates);
+            improved |= improve_once(net, &mut tree, 2, options.k_candidates, &mut ws);
         }
         if !improved {
             break;
@@ -81,7 +83,13 @@ pub fn refine(net: &QuantumNetwork, solution: Solution, options: LocalSearchOpti
 }
 
 /// One scan of all `arity`-moves; `true` when any move improved the tree.
-fn improve_once(net: &QuantumNetwork, tree: &mut EntanglementTree, arity: usize, k: usize) -> bool {
+fn improve_once(
+    net: &QuantumNetwork,
+    tree: &mut EntanglementTree,
+    arity: usize,
+    k: usize,
+    ws: &mut DijkstraWorkspace,
+) -> bool {
     let n = tree.channels.len();
     if n < arity {
         return false;
@@ -104,7 +112,7 @@ fn improve_once(net: &QuantumNetwork, tree: &mut EntanglementTree, arity: usize,
     };
 
     for removal in index_sets {
-        if let Some(better) = try_move(net, tree, &removal, k) {
+        if let Some(better) = try_move(net, tree, &removal, k, ws) {
             // Apply: drop the removed channels, add the replacements.
             let removed: HashSet<usize> = removal.iter().copied().collect();
             let mut channels: Vec<Channel> = tree
@@ -130,6 +138,7 @@ fn try_move(
     tree: &EntanglementTree,
     removal: &[usize],
     k: usize,
+    ws: &mut DijkstraWorkspace,
 ) -> Option<Vec<Channel>> {
     let removed: HashSet<usize> = removal.iter().copied().collect();
     let kept: Vec<&Channel> = tree
@@ -181,7 +190,7 @@ fn try_move(
             let mut all = Vec::new();
             for &a in &components[x] {
                 for &b in &components[y] {
-                    all.extend(k_best_channels(net, &capacity, a, b, k));
+                    all.extend(k_best_channels_in(ws, net, &capacity, a, b, k));
                 }
             }
             all.sort_by_key(|p| std::cmp::Reverse(p.rate));

@@ -36,8 +36,11 @@ pub fn all_pairs_best_channels(net: &QuantumNetwork, capacity: &CapacityMap) -> 
     let _span = qnet_obs::span!("core.optimal.all_pairs");
     let users = net.users();
     let mut channels = Vec::with_capacity(users.len() * (users.len().saturating_sub(1)) / 2);
+    // Every source runs exactly once (capacity is static here), so a
+    // shared workspace is all the reuse available.
+    let mut ws = qnet_graph::DijkstraWorkspace::with_capacity(net.graph().node_count());
     for (i, &src) in users.iter().enumerate() {
-        let finder = ChannelFinder::from_source(net, capacity, src);
+        let finder = ChannelFinder::from_source_in(&mut ws, net, capacity, src);
         for &dst in &users[i + 1..] {
             if let Some(c) = finder.channel_to(dst) {
                 channels.push(c);

@@ -16,7 +16,7 @@ use crate::model::QuantumNetwork;
 use crate::solver::{RoutingAlgorithm, Solution};
 use crate::tree::EntanglementTree;
 
-use super::channel_finder::ChannelFinder;
+use super::channel_finder::ChannelFinderCache;
 
 /// How Algorithm 4 picks its seed user `u₀`.
 ///
@@ -72,13 +72,16 @@ impl PrimBased {
         let mut in_tree = vec![false; net.graph().node_count()];
         in_tree[u0.index()] = true;
         let mut tree = EntanglementTree::new();
+        // Sources repeat across rounds; the cache re-runs a source's
+        // search only after a reservation actually changed capacity.
+        let mut cache = ChannelFinderCache::new(net);
 
         for _round in 1..users.len() {
             let _round_span = qnet_obs::span!("core.prim_based.round");
             qnet_obs::counter!("core.prim_based.rounds");
             let mut best: Option<Channel> = None;
             for &src in users.iter().filter(|u| in_tree[u.index()]) {
-                let finder = ChannelFinder::from_source(net, &capacity, src);
+                let finder = cache.finder(&capacity, src);
                 for &dst in users.iter().filter(|u| !in_tree[u.index()]) {
                     if let Some(c) = finder.channel_to(dst) {
                         if best.as_ref().is_none_or(|b| c.rate > b.rate) {

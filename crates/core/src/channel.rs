@@ -123,14 +123,43 @@ impl Channel {
     }
 }
 
+/// Process-wide source of capacity epochs.
+///
+/// Every mutation of *any* [`CapacityMap`] draws a globally fresh epoch,
+/// so equal epochs imply equal contents even across clones that diverge
+/// (beam search clones a map per beam state): two maps can only share an
+/// epoch if one is an unmutated clone of the other.
+static EPOCH_SOURCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_epoch() -> u64 {
+    EPOCH_SOURCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+}
+
 /// Residual qubit capacity per node.
 ///
 /// Users are unconstrained (tracked as `u32::MAX`, never decremented in
 /// practice because channels only consume interior-switch qubits).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Each map carries an [`epoch`](CapacityMap::epoch) that changes
+/// whenever its contents change; run caches (see
+/// `algorithms::ChannelFinderCache`) key on it to detect staleness in
+/// O(1) instead of diffing capacities.
+#[derive(Clone, Debug)]
 pub struct CapacityMap {
     free: Vec<u32>,
+    epoch: u64,
 }
+
+impl PartialEq for CapacityMap {
+    /// Equality is by *content*; the epoch is an identity tag, not state
+    /// (two maps with equal capacities compare equal even if they were
+    /// mutated along different histories).
+    fn eq(&self, other: &Self) -> bool {
+        self.free == other.free
+    }
+}
+
+impl Eq for CapacityMap {}
 
 impl CapacityMap {
     /// Initial capacities from a network: each switch starts with its full
@@ -142,6 +171,7 @@ impl CapacityMap {
                 .node_ids()
                 .map(|v| net.kind(v).qubits())
                 .collect(),
+            epoch: next_epoch(),
         }
     }
 
@@ -150,7 +180,15 @@ impl CapacityMap {
     pub fn unbounded(net: &QuantumNetwork) -> Self {
         CapacityMap {
             free: vec![u32::MAX; net.graph().node_count()],
+            epoch: next_epoch(),
         }
+    }
+
+    /// Epoch tag: changes (to a process-globally fresh value) on every
+    /// mutation, so `a.epoch() == b.epoch()` implies `a == b`. Clones
+    /// keep their parent's epoch until either side mutates.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Remaining free qubits at `v`.
@@ -182,17 +220,28 @@ impl CapacityMap {
             self.admits(channel),
             "reserve called on a channel the capacity map does not admit"
         );
+        // A direct user–user channel consumes no switch qubits: contents
+        // are unchanged, so the epoch (and any cache keyed on it) stays
+        // valid.
+        if channel.interior_switches().is_empty() {
+            return;
+        }
         for &s in channel.interior_switches() {
             self.free[s.index()] = self.free[s.index()].saturating_sub(2);
         }
+        self.epoch = next_epoch();
     }
 
     /// Releases the 2 qubits per interior switch previously reserved for
     /// `channel`. Saturates at `u32::MAX` for unbounded entries.
     pub fn release(&mut self, channel: &Channel) {
+        if channel.interior_switches().is_empty() {
+            return;
+        }
         for &s in channel.interior_switches() {
             self.free[s.index()] = self.free[s.index()].saturating_add(2);
         }
+        self.epoch = next_epoch();
     }
 }
 
@@ -332,6 +381,39 @@ mod tests {
         let cap = CapacityMap::new(&net);
         assert_eq!(cap.free(u0), u32::MAX);
         assert!(cap.can_relay(u0), "users have unbounded memory");
+    }
+
+    #[test]
+    fn epoch_tracks_mutation_and_clone_identity() {
+        let (net, [u0, s1, u2]) = line_net();
+        let via_switch = channel_via_switch(&net, vec![u0, s1, u2]);
+        let direct = channel_via_switch(&net, vec![u0, u2]);
+        let mut cap = CapacityMap::new(&net);
+
+        let clone = cap.clone();
+        assert_eq!(cap.epoch(), clone.epoch(), "unmutated clone shares epoch");
+
+        // Direct user–user channels touch no switch qubits: no bump.
+        let e0 = cap.epoch();
+        cap.reserve(&direct);
+        cap.release(&direct);
+        assert_eq!(cap.epoch(), e0, "interior-less channels keep the epoch");
+
+        cap.reserve(&via_switch);
+        assert_ne!(cap.epoch(), e0, "reserve bumps the epoch");
+        let e1 = cap.epoch();
+        cap.release(&via_switch);
+        assert_ne!(cap.epoch(), e1, "release bumps the epoch");
+
+        // Two sibling clones mutated separately must never share epochs,
+        // even though each performed "one mutation".
+        let mut a = clone.clone();
+        let mut b = clone.clone();
+        a.reserve(&via_switch);
+        b.reserve(&via_switch);
+        assert_ne!(a.epoch(), b.epoch(), "epochs are globally unique");
+        // ...but content equality still holds.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::model::QuantumNetwork;
 use crate::rate::Rate;
 use crate::tree::EntanglementTree;
 
-use crate::algorithms::ChannelFinder;
+use crate::algorithms::ChannelFinderCache;
 
 /// Scheduling strategy across groups.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,11 +77,11 @@ impl GroupState {
 
     /// Adds the best cross channel for this group on shared capacity;
     /// marks the group failed when none exists.
-    fn grow_once(&mut self, net: &QuantumNetwork, capacity: &mut CapacityMap) {
+    fn grow_once(&mut self, capacity: &mut CapacityMap, cache: &mut ChannelFinderCache<'_>) {
         debug_assert!(!self.done());
         let mut best: Option<Channel> = None;
         for &src in self.members.iter().filter(|u| self.in_tree[u.index()]) {
-            let finder = ChannelFinder::from_source(net, capacity, src);
+            let finder = cache.finder(capacity, src);
             for &dst in self.members.iter().filter(|u| !self.in_tree[u.index()]) {
                 if let Some(c) = finder.channel_to(dst) {
                     if best.as_ref().is_none_or(|b| c.rate > b.rate) {
@@ -156,12 +156,15 @@ pub fn route_groups(
 
     let mut capacity = CapacityMap::new(net);
     let mut states: Vec<GroupState> = groups.iter().map(|g| GroupState::new(net, g)).collect();
+    // Shared across groups: capacity only changes on reservations, so
+    // interleaved (round-robin) growth still reuses runs within a round.
+    let mut cache = ChannelFinderCache::new(net);
 
     match strategy {
         GroupStrategy::Sequential => {
             for st in &mut states {
                 while !st.done() {
-                    st.grow_once(net, &mut capacity);
+                    st.grow_once(&mut capacity, &mut cache);
                 }
             }
         }
@@ -169,7 +172,7 @@ pub fn route_groups(
             let mut progressed = false;
             for st in &mut states {
                 if !st.done() {
-                    st.grow_once(net, &mut capacity);
+                    st.grow_once(&mut capacity, &mut cache);
                     progressed = true;
                 }
             }

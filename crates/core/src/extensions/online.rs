@@ -211,10 +211,11 @@ fn route_group(
     in_tree[members[0].index()] = true;
     let mut tree = EntanglementTree::new();
     let mut trial_capacity = capacity.clone();
+    let mut ws = qnet_graph::DijkstraWorkspace::with_capacity(net.graph().node_count());
     for _ in 1..members.len() {
         let mut best: Option<Channel> = None;
         for &src in members.iter().filter(|u| in_tree[u.index()]) {
-            let finder = ChannelFinder::from_source(net, &trial_capacity, src);
+            let finder = ChannelFinder::from_source_in(&mut ws, net, &trial_capacity, src);
             for &dst in members.iter().filter(|u| !in_tree[u.index()]) {
                 if let Some(c) = finder.channel_to(dst) {
                     if best.as_ref().is_none_or(|b| c.rate > b.rate) {

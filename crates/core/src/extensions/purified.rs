@@ -32,7 +32,7 @@ use crate::solver::{RoutingAlgorithm, Solution};
 use crate::tree::EntanglementTree;
 
 use super::fidelity::{werner_swap_fidelity, FidelityModel};
-use crate::algorithms::ChannelFinder;
+use crate::algorithms::ChannelFinderCache;
 
 /// BBPSSW one-round statistics for two equal-fidelity Werner pairs
 /// (mirrors `qnet_sim::fidelity::purify`; duplicated arithmetic keeps
@@ -128,11 +128,12 @@ impl RoutingAlgorithm for PurifiedPrim {
         in_tree[users[0].index()] = true;
         let mut tree = EntanglementTree::new();
         let mut effective = Rate::ONE;
+        let mut cache = ChannelFinderCache::new(net);
 
         for _ in 1..users.len() {
             let mut best: Option<(Channel, PurificationPlan)> = None;
             for &src in users.iter().filter(|u| in_tree[u.index()]) {
-                let finder = ChannelFinder::from_source(net, &capacity, src);
+                let finder = cache.finder(&capacity, src);
                 for &dst in users.iter().filter(|u| !in_tree[u.index()]) {
                     let Some(c) = finder.channel_to(dst) else {
                         continue;

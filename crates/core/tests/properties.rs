@@ -206,4 +206,48 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn finder_cache_matches_uncached_across_epoch_bumps(net in arb_network(4, 5)) {
+        use muerp_core::algorithms::{ChannelFinder, ChannelFinderCache};
+        // Drive the capacity map through reserve/release transitions and
+        // at every step compare the cached finder (hit, refresh, or
+        // first run) against an uncached from-scratch run for every
+        // source user and destination.
+        let users = net.users().to_vec();
+        let mut cap = CapacityMap::new(&net);
+        let mut cache = ChannelFinderCache::new(&net);
+        let mut reserved: Vec<muerp_core::channel::Channel> = Vec::new();
+        for step in 0..4 {
+            for &src in &users {
+                // Query the same (source, epoch) twice: second call must
+                // be a pure cache hit and still agree.
+                for _ in 0..2 {
+                    let cached = cache.finder(&cap, src);
+                    let uncached = ChannelFinder::from_source(&net, &cap, src);
+                    for &dst in &users {
+                        let (a, b) = (cached.channel_to(dst), uncached.channel_to(dst));
+                        prop_assert_eq!(a.is_some(), b.is_some());
+                        if let (Some(a), Some(b)) = (a, b) {
+                            prop_assert_eq!(&a.path.nodes, &b.path.nodes);
+                            prop_assert_eq!(&a.path.edges, &b.path.edges);
+                            prop_assert_eq!(a.rate.value(), b.rate.value());
+                        }
+                    }
+                }
+            }
+            // Mutate capacity for the next round: reserve something new
+            // on even steps, release everything on odd ones.
+            if step % 2 == 0 {
+                if let Some(c) = max_rate_channel(&net, &cap, users[0], users[1]) {
+                    cap.reserve(&c);
+                    reserved.push(c);
+                }
+            } else {
+                for c in reserved.drain(..) {
+                    cap.release(&c);
+                }
+            }
+        }
+    }
 }

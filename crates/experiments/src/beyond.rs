@@ -16,6 +16,7 @@ fn mean_rate<A: RoutingAlgorithm + Sync>(
     make: impl Fn(u64) -> A + Sync,
     cfg: TrialConfig,
 ) -> f64 {
+    // Per-worker accumulators, merged under the lock once per worker.
     let total = Mutex::new(0.0f64);
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = std::thread::available_parallelism()
@@ -24,15 +25,18 @@ fn mean_rate<A: RoutingAlgorithm + Sync>(
         .min(cfg.trials.max(1) as usize);
     crossbeam::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= cfg.trials {
-                    break;
+            scope.spawn(|_| {
+                let mut local = 0.0f64;
+                loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= cfg.trials {
+                        break;
+                    }
+                    let seed = cfg.base_seed + t;
+                    let net = spec.build(seed);
+                    local += make(seed).solve(&net).map_or(0.0, |s| s.rate.value());
                 }
-                let seed = cfg.base_seed + t;
-                let net = spec.build(seed);
-                let rate = make(seed).solve(&net).map_or(0.0, |s| s.rate.value());
-                *total.lock() += rate;
+                *total.lock() += local;
             });
         }
     })
@@ -101,35 +105,41 @@ pub fn multi_group_concurrency(cfg: TrialConfig) -> FigureTable {
                 .min(cfg.trials.max(1) as usize);
             crossbeam::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| loop {
-                        let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if t >= cfg.trials {
-                            break;
+                    scope.spawn(|_| {
+                        let mut local = (0.0f64, 0.0f64);
+                        loop {
+                            let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if t >= cfg.trials {
+                                break;
+                            }
+                            let net = spec.build(cfg.base_seed + t);
+                            let users = net.users();
+                            let mut groups = Vec::new();
+                            let mut start = 0;
+                            for &size in sizes {
+                                groups.push(users[start..start + size].to_vec());
+                                start += size;
+                            }
+                            let outcomes = route_groups(&net, &groups, strategy);
+                            let rates: Vec<f64> =
+                                outcomes.iter().map(|o| o.rate().value()).collect();
+                            let geo = if rates.contains(&0.0) {
+                                0.0
+                            } else {
+                                rates
+                                    .iter()
+                                    .map(|r| r.ln())
+                                    .sum::<f64>()
+                                    .exp()
+                                    .powf(1.0 / rates.len() as f64)
+                            };
+                            let worst = rates.iter().copied().fold(f64::INFINITY, f64::min);
+                            local.0 += geo;
+                            local.1 += worst;
                         }
-                        let net = spec.build(cfg.base_seed + t);
-                        let users = net.users();
-                        let mut groups = Vec::new();
-                        let mut start = 0;
-                        for &size in sizes {
-                            groups.push(users[start..start + size].to_vec());
-                            start += size;
-                        }
-                        let outcomes = route_groups(&net, &groups, strategy);
-                        let rates: Vec<f64> = outcomes.iter().map(|o| o.rate().value()).collect();
-                        let geo = if rates.contains(&0.0) {
-                            0.0
-                        } else {
-                            rates
-                                .iter()
-                                .map(|r| r.ln())
-                                .sum::<f64>()
-                                .exp()
-                                .powf(1.0 / rates.len() as f64)
-                        };
-                        let worst = rates.iter().copied().fold(f64::INFINITY, f64::min);
                         let mut lock = acc.lock();
-                        lock.0 += geo;
-                        lock.1 += worst;
+                        lock.0 += local.0;
+                        lock.1 += local.1;
                     });
                 }
             })

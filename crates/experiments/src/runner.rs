@@ -39,7 +39,10 @@ where
     F: Fn(u64) -> QuantumNetwork + Sync,
 {
     let _span = qnet_obs::span!("exp.runner.mean_rates");
-    let totals = Mutex::new(vec![0.0f64; algos.len()]);
+    // Workers buffer their trials locally and take the lock once at
+    // exit; the final sum runs in trial order on the caller's thread so
+    // the result is bitwise independent of scheduling.
+    let rows = Mutex::new(vec![Vec::new(); cfg.trials as usize]);
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -48,26 +51,36 @@ where
 
     crossbeam::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= cfg.trials {
-                    break;
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, Vec<f64>)> = Vec::new();
+                loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= cfg.trials {
+                        break;
+                    }
+                    qnet_obs::counter!("exp.runner.trials");
+                    let seed = cfg.base_seed + t;
+                    let net = build(seed);
+                    let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();
+                    local.push((t as usize, rates));
                 }
-                qnet_obs::counter!("exp.runner.trials");
-                let seed = cfg.base_seed + t;
-                let net = build(seed);
-                let rates: Vec<f64> = algos.iter().map(|a| a.rate_on(&net, seed)).collect();
-                let mut lock = totals.lock();
-                for (acc, r) in lock.iter_mut().zip(&rates) {
-                    *acc += r;
+                let mut lock = rows.lock();
+                for (t, rates) in local {
+                    lock[t] = rates;
                 }
             });
         }
     })
     .expect("worker thread panicked");
 
+    let rows = rows.into_inner();
+    let mut totals = vec![0.0f64; algos.len()];
+    for rates in &rows {
+        for (acc, r) in totals.iter_mut().zip(rates) {
+            *acc += r;
+        }
+    }
     totals
-        .into_inner()
         .into_iter()
         .map(|sum| sum / cfg.trials as f64)
         .collect()

@@ -9,13 +9,27 @@
 //! appear in a path's *interior*, so the k-best channels all remain valid
 //! MUERP channels.
 
+use std::cmp::Ordering;
 use std::collections::HashSet;
 
 use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
-use crate::paths::{dijkstra, DijkstraConfig, Path};
+use crate::paths::{dijkstra_into, DijkstraConfig, DijkstraWorkspace, Path};
+
+/// Candidate ordering: cheapest first, ties broken by the edge sequence
+/// for determinism.
+fn path_order(a: &Path, b: &Path) -> Ordering {
+    a.cost
+        .partial_cmp(&b.cost)
+        .expect("costs are not NaN")
+        .then_with(|| a.edges.cmp(&b.edges))
+}
 
 /// The `k` cheapest loopless paths from `source` to `target` under the
 /// given cost and relay filter, sorted by cost ascending.
+///
+/// Convenience wrapper over [`k_shortest_paths_in`] that allocates a
+/// private [`DijkstraWorkspace`]; callers issuing many KSP queries
+/// should hold a workspace and use the `_in` variant.
 ///
 /// Fewer than `k` paths are returned when the graph does not contain
 /// that many distinct admissible simple paths. `k = 0` returns an empty
@@ -24,8 +38,39 @@ use crate::paths::{dijkstra, DijkstraConfig, Path};
 /// # Panics
 ///
 /// Panics if `edge_cost` produces negative or NaN values (inherited from
-/// [`dijkstra`]).
+/// [`crate::dijkstra`]).
 pub fn k_shortest_paths<N, E, FC, FR>(
+    g: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    config: &DijkstraConfig<FC, FR>,
+) -> Vec<Path>
+where
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    let mut ws = DijkstraWorkspace::new();
+    k_shortest_paths_in(&mut ws, g, source, target, k, config)
+}
+
+/// Yen's algorithm on a caller-provided [`DijkstraWorkspace`]: every
+/// spur search reuses the workspace's arrays and heap, so one KSP query
+/// performs no per-spur allocation beyond the paths it reports.
+///
+/// Two further optimizations over the textbook formulation:
+///
+/// * **Root-cost bookkeeping** — a candidate's cost is the prefix sum of
+///   its root plus the spur search's accumulated cost; edge costs are
+///   never re-summed over the whole stitched path.
+/// * **Root-path cost pruning** — with `m` accepted slots left and at
+///   least `m` pending candidates, a spur whose root already costs
+///   strictly more than the `m`-th cheapest pending candidate cannot
+///   contribute an accepted path (every future pick is at most that
+///   bound), so the spur search is skipped entirely. The strict
+///   inequality keeps equal-cost path sets intact.
+pub fn k_shortest_paths_in<N, E, FC, FR>(
+    ws: &mut DijkstraWorkspace,
     g: &Graph<N, E>,
     source: NodeId,
     target: NodeId,
@@ -41,27 +86,55 @@ where
         return Vec::new();
     }
     let mut accepted: Vec<Path> = Vec::with_capacity(k);
+    // Sorted *descending* by (cost, edges): the cheapest candidate pops
+    // from the back in O(1), and the pruning bound below indexes the
+    // m-th cheapest directly.
     let mut candidates: Vec<Path> = Vec::new();
     let mut expansions: u64 = 0;
+    let mut pruned: u64 = 0;
+    // Ban sets are reused (cleared, not reallocated) across spurs.
+    let mut banned_edges: HashSet<EdgeId> = HashSet::new();
+    let mut banned_nodes: HashSet<NodeId> = HashSet::new();
+    // Prefix sums of the previous accepted path's edge costs:
+    // root_cost[i] = cost of its first i edges, summed left to right —
+    // bitwise identical to the sequential sum Dijkstra itself computes.
+    let mut root_cost: Vec<f64> = Vec::new();
 
-    let Some(first) = dijkstra(g, source, config).path_to(target) else {
+    let Some(first) = dijkstra_into(ws, g, source, config).path_to(target) else {
         return Vec::new();
     };
     accepted.push(first);
 
     while accepted.len() < k {
         let prev = accepted.last().expect("at least one accepted path");
+        root_cost.clear();
+        root_cost.push(0.0);
+        for &e in &prev.edges {
+            root_cost.push(root_cost.last().unwrap() + (config.edge_cost)(g.edge(e)));
+        }
 
-        // Spur from every prefix position of the previous path.
+        // Spur from every prefix position of the previous path. Indexed
+        // loop: `prev` must be re-borrowed each iteration because the
+        // ban sets the spur config closes over are rebuilt in the body.
+        #[allow(clippy::needless_range_loop)]
         for spur_idx in 0..prev.nodes.len() - 1 {
+            let prev = accepted.last().expect("at least one accepted path");
             let spur_node = prev.nodes[spur_idx];
-            let root_nodes = &prev.nodes[..=spur_idx];
-            let root_edges = &prev.edges[..spur_idx];
 
             // The spur node must be admissible at its position in the
             // final path: as source (spur_idx == 0) it always is; as an
             // interior vertex it must pass the relay filter.
             if spur_idx > 0 && !(config.can_relay)(spur_node) {
+                continue;
+            }
+
+            // Root-path cost pruning (see the function docs for why the
+            // strict bound is safe).
+            let remaining = k - accepted.len();
+            if candidates.len() >= remaining
+                && root_cost[spur_idx] > candidates[candidates.len() - remaining].cost
+            {
+                pruned += 1;
                 continue;
             }
 
@@ -71,13 +144,15 @@ where
             // Root comparison uses the *edge* sequence: with parallel
             // edges two distinct roots share the same node prefix, and
             // banning across them loses paths.
-            let mut banned_edges: HashSet<EdgeId> = HashSet::new();
+            let root_edges = &prev.edges[..spur_idx];
+            banned_edges.clear();
             for p in accepted.iter().chain(candidates.iter()) {
                 if p.edges.len() > spur_idx && p.edges[..spur_idx] == *root_edges {
                     banned_edges.insert(p.edges[spur_idx]);
                 }
             }
-            let banned_nodes: HashSet<NodeId> = root_nodes[..spur_idx].iter().copied().collect();
+            banned_nodes.clear();
+            banned_nodes.extend(prev.nodes[..spur_idx].iter().copied());
 
             let spur_cfg = DijkstraConfig {
                 edge_cost: |e: EdgeRef<'_, E>| {
@@ -93,16 +168,18 @@ where
                 can_relay: |n: NodeId| !banned_nodes.contains(&n) && (config.can_relay)(n),
             };
             expansions += 1;
-            let Some(spur_path) = dijkstra(g, spur_node, &spur_cfg).path_to(target) else {
+            let Some(spur_path) = dijkstra_into(ws, g, spur_node, &spur_cfg).path_to(target) else {
                 continue;
             };
 
-            // Stitch root + spur.
-            let mut nodes = root_nodes.to_vec();
+            // Stitch root + spur; the cost is the root prefix plus the
+            // spur search's own accumulated cost.
+            let prev = accepted.last().expect("at least one accepted path");
+            let mut nodes = prev.nodes[..=spur_idx].to_vec();
             nodes.extend_from_slice(&spur_path.nodes[1..]);
-            let mut edges = root_edges.to_vec();
+            let mut edges = prev.edges[..spur_idx].to_vec();
             edges.extend_from_slice(&spur_path.edges);
-            let cost: f64 = edges.iter().map(|&e| (config.edge_cost)(g.edge(e))).sum();
+            let cost = root_cost[spur_idx] + spur_path.cost;
             let candidate = Path { nodes, edges, cost };
 
             // Deduplicate (same edge sequence).
@@ -111,28 +188,21 @@ where
                 .chain(candidates.iter())
                 .any(|p| p.edges == candidate.edges);
             if !duplicate {
-                candidates.push(candidate);
+                let at = candidates
+                    .binary_search_by(|p| path_order(&candidate, p))
+                    .unwrap_or_else(|i| i);
+                candidates.insert(at, candidate);
             }
         }
 
-        if candidates.is_empty() {
-            break;
-        }
         // Pop the cheapest candidate.
-        let best_idx = candidates
-            .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                a.1.cost
-                    .partial_cmp(&b.1.cost)
-                    .expect("costs are not NaN")
-                    .then_with(|| a.1.edges.cmp(&b.1.edges))
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty candidates");
-        accepted.push(candidates.swap_remove(best_idx));
+        let Some(next) = candidates.pop() else {
+            break;
+        };
+        accepted.push(next);
     }
     qnet_obs::counter!("graph.ksp.spur_expansions"; expansions);
+    qnet_obs::counter!("graph.ksp.spur_pruned"; pruned);
     qnet_obs::counter!("graph.ksp.paths_generated"; accepted.len() as u64);
     accepted
 }

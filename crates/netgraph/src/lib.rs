@@ -56,6 +56,8 @@ pub mod unionfind;
 pub mod weight;
 
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
-pub use paths::{dijkstra, DijkstraConfig, DijkstraRun, Path};
+pub use paths::{
+    dijkstra, dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraView, DijkstraWorkspace, Path,
+};
 pub use unionfind::UnionFind;
 pub use weight::NegLog;

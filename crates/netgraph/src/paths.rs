@@ -100,6 +100,196 @@ pub struct DijkstraRun {
     prev: Vec<Option<(NodeId, EdgeId)>>,
 }
 
+/// Reusable scratch state for repeated Dijkstra runs.
+///
+/// Every [`dijkstra`] call needs `dist`/`prev`/`settled` arrays and a
+/// binary heap; allocating them fresh per call dominates the cost of
+/// searches on small-to-medium graphs, and the MUERP solvers issue
+/// hundreds of such searches per solve. A workspace owns those buffers
+/// and *generation-stamps* them: each run bumps a generation counter and
+/// a per-slot stamp records which run last wrote the slot, so resetting
+/// between runs is O(1) — no clearing, no re-filling with `INFINITY`.
+///
+/// The same workspace may be reused across graphs of different sizes
+/// (buffers grow monotonically) and across arbitrary cost/relay
+/// configurations; a run never observes state from a previous run
+/// (the proptest suite in `tests/properties.rs` pits a deliberately
+/// dirty workspace against fresh runs).
+#[derive(Clone, Debug)]
+pub struct DijkstraWorkspace {
+    generation: u32,
+    active_len: usize,
+    source: NodeId,
+    stamp: Vec<u32>,
+    dist: Vec<f64>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Default for DijkstraWorkspace {
+    fn default() -> Self {
+        DijkstraWorkspace {
+            generation: 0,
+            active_len: 0,
+            source: NodeId::new(0),
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl DijkstraWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for graphs of `nodes` vertices.
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut ws = Self::default();
+        ws.grow(nodes);
+        ws
+    }
+
+    /// Starts a new run over `n` vertices: O(1) unless buffers must grow
+    /// or the 32-bit generation wraps (once per ~4 billion runs).
+    fn begin(&mut self, n: usize) {
+        self.grow(n);
+        self.active_len = n;
+        self.heap.clear();
+        if self.generation == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    fn grow(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            // Stamp 0 can never equal the post-`begin` generation (≥ 1),
+            // so fresh slots always read as untouched.
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, None);
+            self.settled.resize(n, false);
+        }
+    }
+
+    #[inline]
+    fn is_current(&self, i: usize) -> bool {
+        self.stamp[i] == self.generation
+    }
+
+    #[inline]
+    fn dist_at(&self, i: usize) -> f64 {
+        if self.is_current(i) {
+            self.dist[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn prev_at(&self, i: usize) -> Option<(NodeId, EdgeId)> {
+        if self.is_current(i) {
+            self.prev[i]
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn settled_at(&self, i: usize) -> bool {
+        self.is_current(i) && self.settled[i]
+    }
+
+    /// Touches slot `i` for the current run (first write stamps it and
+    /// clears run-local flags).
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        if !self.is_current(i) {
+            self.stamp[i] = self.generation;
+            self.settled[i] = false;
+            self.prev[i] = None;
+        }
+    }
+}
+
+/// A borrowed view of the most recent [`dijkstra_into`] run held in a
+/// [`DijkstraWorkspace`]. Mirrors the query API of [`DijkstraRun`]
+/// without owning (or allocating) the distance/predecessor arrays.
+#[derive(Debug)]
+pub struct DijkstraView<'w> {
+    ws: &'w DijkstraWorkspace,
+}
+
+impl DijkstraView<'_> {
+    /// The source of the run.
+    pub fn source(&self) -> NodeId {
+        self.ws.source
+    }
+
+    /// Cost of the cheapest admissible path to `target`, or `None` when
+    /// unreachable.
+    pub fn distance(&self, target: NodeId) -> Option<f64> {
+        let d = self.ws.dist_at(target.index());
+        d.is_finite().then_some(d)
+    }
+
+    /// Reconstructs the cheapest admissible path to `target`, or `None`
+    /// when unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        let cost = self.distance(target)?;
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((p, e)) = self.ws.prev_at(cur.index()) {
+            nodes.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.ws.source);
+        nodes.reverse();
+        edges.reverse();
+        Some(Path { nodes, edges, cost })
+    }
+
+    /// Iterates over all reachable targets and their distances.
+    pub fn reachable(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        (0..self.ws.active_len)
+            .map(|i| (i, self.ws.dist_at(i)))
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, d)| (NodeId::new(i), d))
+    }
+
+    /// Materializes the run into an owned [`DijkstraRun`].
+    pub fn to_run(&self) -> DijkstraRun {
+        let mut run = DijkstraRun {
+            source: self.ws.source,
+            dist: Vec::new(),
+            prev: Vec::new(),
+        };
+        self.write_run(&mut run);
+        run
+    }
+
+    /// Copies the run into `out`, reusing its buffers (no allocation
+    /// once `out` has reached the graph's size).
+    pub fn write_run(&self, out: &mut DijkstraRun) {
+        out.source = self.ws.source;
+        out.dist.clear();
+        out.prev.clear();
+        out.dist
+            .extend((0..self.ws.active_len).map(|i| self.ws.dist_at(i)));
+        out.prev
+            .extend((0..self.ws.active_len).map(|i| self.ws.prev_at(i)));
+    }
+}
+
 impl DijkstraRun {
     /// The source of the run.
     pub fn source(&self) -> NodeId {
@@ -141,7 +331,7 @@ impl DijkstraRun {
     }
 }
 
-#[derive(PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 struct HeapEntry {
     cost: f64,
     node: NodeId,
@@ -167,46 +357,59 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Dijkstra's algorithm from `source` under `config`.
+/// Dijkstra's algorithm from `source` under `config`, writing into a
+/// reusable [`DijkstraWorkspace`] — the zero-allocation entry point.
 ///
-/// Complexity `O((|E| + |V|) log |V|)` with a binary heap, matching the
-/// `O(|E| + |V| log |V|)` the paper quotes for Algorithm 1 up to the usual
-/// binary-heap log factor.
+/// The returned [`DijkstraView`] borrows the workspace; query it (or
+/// materialize a [`DijkstraRun`] via [`DijkstraView::to_run`]) before
+/// starting the next run. Complexity `O((|E| + |V|) log |V|)` with a
+/// binary heap, matching the `O(|E| + |V| log |V|)` the paper quotes for
+/// Algorithm 1 up to the usual binary-heap log factor.
 ///
 /// # Panics
 ///
-/// Panics if `edge_cost` returns a negative or NaN value.
-pub fn dijkstra<N, E, FC, FR>(
+/// Panics if `edge_cost` returns a negative or NaN value. In release
+/// builds the violation is detected by a single deferred check when the
+/// run completes (the hot relaxation loop pays no branch-and-format per
+/// edge); debug builds additionally pinpoint the offending edge at the
+/// relaxation itself. A NaN or negative cost never corrupts a returned
+/// result: the run panics before the view is handed back.
+pub fn dijkstra_into<'w, N, E, FC, FR>(
+    ws: &'w mut DijkstraWorkspace,
     g: &Graph<N, E>,
     source: NodeId,
     config: &DijkstraConfig<FC, FR>,
-) -> DijkstraRun
+) -> DijkstraView<'w>
 where
     FC: Fn(EdgeRef<'_, E>) -> f64,
     FR: Fn(NodeId) -> bool,
 {
     qnet_obs::counter!("graph.dijkstra.calls");
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
+    ws.begin(g.node_count());
+    ws.source = source;
     // Tally locally; flush once at the end so the hot loop stays free of
     // shared-state traffic.
     let mut settled_n: u64 = 0;
     let mut relaxed_n: u64 = 0;
+    // Deferred cost validation: `w >= 0.0` is false for both negative
+    // and NaN costs, so a single accumulated flag checked after the loop
+    // replaces a per-relaxation assert. NaN cannot leak into results in
+    // the meantime (`cand < dist` is false for NaN), and the panic below
+    // fires before any caller can observe the run.
+    let mut costs_ok = true;
 
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
+    ws.touch(source.index());
+    ws.dist[source.index()] = 0.0;
+    ws.heap.push(HeapEntry {
         cost: 0.0,
         node: source,
     });
 
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if settled[node.index()] {
+    while let Some(HeapEntry { cost, node }) = ws.heap.pop() {
+        if ws.settled[node.index()] {
             continue;
         }
-        settled[node.index()] = true;
+        ws.settled[node.index()] = true;
         settled_n += 1;
 
         // Relax out of `node` only if it may serve as an interior relay
@@ -217,23 +420,25 @@ where
         }
 
         for (next, eid) in g.neighbors(node) {
-            if settled[next.index()] {
+            if ws.settled_at(next.index()) {
                 continue;
             }
             let w = (config.edge_cost)(g.edge(eid));
-            assert!(
+            debug_assert!(
                 w >= 0.0 && !w.is_nan(),
                 "edge cost must be non-negative and not NaN, got {w} for {eid}"
             );
+            costs_ok &= w >= 0.0;
             if w.is_infinite() {
                 continue;
             }
             let cand = cost + w;
-            if cand < dist[next.index()] {
-                dist[next.index()] = cand;
-                prev[next.index()] = Some((node, eid));
+            if cand < ws.dist_at(next.index()) {
+                ws.touch(next.index());
+                ws.dist[next.index()] = cand;
+                ws.prev[next.index()] = Some((node, eid));
                 relaxed_n += 1;
-                heap.push(HeapEntry {
+                ws.heap.push(HeapEntry {
                     cost: cand,
                     node: next,
                 });
@@ -241,9 +446,38 @@ where
         }
     }
 
+    assert!(
+        costs_ok,
+        "edge cost must be non-negative and not NaN (run from {source}; \
+         rebuild with debug assertions to locate the offending edge)"
+    );
     qnet_obs::counter!("graph.dijkstra.settled"; settled_n);
     qnet_obs::counter!("graph.dijkstra.relaxations"; relaxed_n);
-    DijkstraRun { source, dist, prev }
+    DijkstraView { ws }
+}
+
+/// Dijkstra's algorithm from `source` under `config`.
+///
+/// Compatibility wrapper over [`dijkstra_into`] that allocates a private
+/// [`DijkstraWorkspace`] per call and returns an owned [`DijkstraRun`].
+/// Hot paths issuing many searches should hold a workspace and call
+/// [`dijkstra_into`] instead.
+///
+/// # Panics
+///
+/// Panics if `edge_cost` returns a negative or NaN value (see
+/// [`dijkstra_into`] for when the check fires).
+pub fn dijkstra<N, E, FC, FR>(
+    g: &Graph<N, E>,
+    source: NodeId,
+    config: &DijkstraConfig<FC, FR>,
+) -> DijkstraRun
+where
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    let mut ws = DijkstraWorkspace::new();
+    dijkstra_into(&mut ws, g, source, config).to_run()
 }
 
 /// Breadth-first shortest path by hop count, ignoring weights.

@@ -9,7 +9,10 @@ use qnet_graph::connectivity::{bridges, connected_components, is_connected, node
 use qnet_graph::dcmst::{degree_constrained_kruskal, exact_dcmst};
 use qnet_graph::mst::{kruskal, prim};
 use qnet_graph::steiner::steiner_approximation;
-use qnet_graph::{dijkstra, DijkstraConfig, EdgeRef, Graph, NegLog, NodeId, UnionFind};
+use qnet_graph::{
+    dijkstra, dijkstra_into, DijkstraConfig, DijkstraWorkspace, EdgeRef, Graph, NegLog, NodeId,
+    UnionFind,
+};
 
 /// A random undirected weighted graph: `n` nodes, edge list with weights.
 fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph<(), f64>> {
@@ -214,6 +217,66 @@ proptest! {
         prop_assert_eq!(yen.len(), brute.len(), "yen must enumerate all simple paths");
         for (p, c) in yen.iter().zip(&brute) {
             prop_assert!((p.cost - c).abs() < 1e-9, "cost order mismatch");
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_dijkstra(
+        g1 in arb_graph(12, 40),
+        g2 in arb_graph(6, 18),
+        forbid in 0usize..12,
+        sources in proptest::collection::vec(0usize..12, 1..6),
+    ) {
+        // One workspace carried across many runs, alternating between two
+        // graphs of different sizes and between filtered/unfiltered
+        // configurations — maximally dirty state. Every run must agree
+        // bitwise with a fresh dijkstra() on distances and on path shape.
+        let mut ws = DijkstraWorkspace::new();
+        for (round, &s) in sources.iter().enumerate() {
+            for g in [&g1, &g2] {
+                let source = NodeId::new(s % g.node_count());
+                let forbidden = NodeId::new((forbid + round) % g.node_count());
+                let cfg = DijkstraConfig { edge_cost: w, can_relay: |n: NodeId| n != forbidden };
+                let fresh = dijkstra(g, source, &cfg);
+                let view = dijkstra_into(&mut ws, g, source, &cfg);
+                for v in g.node_ids() {
+                    prop_assert_eq!(view.distance(v), fresh.distance(v));
+                    let (a, b) = (view.path_to(v), fresh.path_to(v));
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                    if let (Some(a), Some(b)) = (a, b) {
+                        prop_assert_eq!(a.nodes, b.nodes);
+                        prop_assert_eq!(a.edges, b.edges);
+                        prop_assert_eq!(a.cost, b.cost);
+                    }
+                }
+                // The materialized run is the view, verbatim.
+                let run = view.to_run();
+                for v in g.node_ids() {
+                    prop_assert_eq!(run.distance(v), view.distance(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_yen(
+        g in arb_graph(8, 20),
+        warmup in arb_graph(12, 30),
+        k in 1usize..6,
+    ) {
+        use qnet_graph::ksp::{k_shortest_paths, k_shortest_paths_in};
+        let (s, t) = (NodeId::new(0), NodeId::new(g.node_count() - 1));
+        let cfg = DijkstraConfig::all_nodes(w);
+        // Dirty the workspace on an unrelated, larger graph first.
+        let mut ws = DijkstraWorkspace::new();
+        let _ = dijkstra_into(&mut ws, &warmup, NodeId::new(0), &cfg);
+        let reused = k_shortest_paths_in(&mut ws, &g, s, t, k, &cfg);
+        let fresh = k_shortest_paths(&g, s, t, k, &cfg);
+        prop_assert_eq!(reused.len(), fresh.len());
+        for (a, b) in reused.iter().zip(&fresh) {
+            prop_assert_eq!(&a.nodes, &b.nodes);
+            prop_assert_eq!(&a.edges, &b.edges);
+            prop_assert_eq!(a.cost, b.cost);
         }
     }
 
