@@ -3,9 +3,11 @@
 //! Two questions, answered separately:
 //!
 //! 1. **Macro-level:** how does a real solve compare across
-//!    `MUERP_OBS=off`, `counters`, and `full`? Reported as three
+//!    `MUERP_OBS=off`, `counters`, `full`, and `trace`? Reported as four
 //!    criterion measurements of `PrimBased::solve` on the paper-default
-//!    network.
+//!    network. The first three must stay within noise of each other's
+//!    historical values with the flight recorder compiled in; `trace`
+//!    pays one mutex op per decision event.
 //! 2. **Micro-level:** what does a disabled instrumentation site cost?
 //!    An interleaved A/B measurement of the same synthetic kernel with
 //!    and without `counter!`/`histogram!`/`span!` sites, with the level
@@ -28,13 +30,15 @@ fn bench_solve_per_level(c: &mut Criterion) {
         ("off", ObsLevel::Off),
         ("counters", ObsLevel::Counters),
         ("full", ObsLevel::Full),
+        ("trace", ObsLevel::Trace),
     ] {
         qnet_obs::set_level(level);
         group.bench_function(label, |b| {
             b.iter(|| std::hint::black_box(PrimBased::with_seed(1).solve(&net)))
         });
-        // Keep the span store bounded across iterations.
+        // Keep the span store and ring bounded across iterations.
         qnet_obs::reset_spans();
+        qnet_obs::reset_trace();
         qnet_obs::global().reset();
     }
     qnet_obs::set_level(ObsLevel::Counters);
@@ -79,6 +83,14 @@ fn run_instrumented() -> (u64, std::time::Duration) {
         qnet_obs::counter!("bench.obs_overhead.steps");
         acc = acc.wrapping_add(kernel_step(i));
         qnet_obs::histogram!("bench.obs_overhead.acc_us", acc & 0xff);
+        // A disabled flight-recorder site must be as free as the rest.
+        if qnet_obs::trace_enabled() {
+            qnet_obs::record_event(qnet_obs::TraceEvent::BeamRound {
+                round: i as u32,
+                expanded: 0,
+                kept: 0,
+            });
+        }
     }
     (std::hint::black_box(acc), start.elapsed())
 }

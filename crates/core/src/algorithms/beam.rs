@@ -103,7 +103,7 @@ impl BeamSearch {
         // allocation-free across the whole beam.
         let mut cache = ChannelFinderCache::new(net);
 
-        for _round in 1..users.len() {
+        for round in 1..users.len() {
             let mut expansions: Vec<State> = Vec::new();
             for state in &beam {
                 // Top candidate channels crossing this state's cut.
@@ -149,6 +149,7 @@ impl BeamSearch {
             }
             // Prune to the best `width` states. Dedup by covered user set
             // keeping the best rate, so the beam holds *diverse* cuts.
+            let expanded = expansions.len();
             expansions.sort_by_key(|s| std::cmp::Reverse(s.rate));
             let mut kept: Vec<State> = Vec::with_capacity(self.width);
             let mut seen_sets: Vec<Vec<bool>> = Vec::new();
@@ -162,6 +163,13 @@ impl BeamSearch {
                 if kept.len() == self.width {
                     break;
                 }
+            }
+            if qnet_obs::trace_enabled() {
+                qnet_obs::record_event(qnet_obs::TraceEvent::BeamRound {
+                    round: round as u32,
+                    expanded: expanded as u32,
+                    kept: kept.len() as u32,
+                });
             }
             beam = kept;
         }

@@ -63,6 +63,13 @@ fn run_algorithm1<'w>(
     if n > 0 {
         qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity"; n);
     }
+    if qnet_obs::trace_enabled() {
+        qnet_obs::record_event(qnet_obs::TraceEvent::FinderRun {
+            source: source.index() as u32,
+            rejected_full: n,
+            epoch: capacity.epoch(),
+        });
+    }
     view
 }
 
@@ -75,6 +82,10 @@ fn run_algorithm1<'w>(
 pub struct ChannelFinder<'n> {
     net: &'n QuantumNetwork,
     run: DijkstraRun,
+    /// Epoch of the capacity map the run was computed under; stamped
+    /// onto the trace events [`ChannelFinder::channel_to`] emits so a
+    /// flight-recorder reader can line decisions up with reservations.
+    epoch: u64,
 }
 
 impl<'n> ChannelFinder<'n> {
@@ -102,7 +113,11 @@ impl<'n> ChannelFinder<'n> {
         source: NodeId,
     ) -> Self {
         let run = run_algorithm1(ws, net, capacity, source).to_run();
-        ChannelFinder { net, run }
+        ChannelFinder {
+            net,
+            run,
+            epoch: capacity.epoch(),
+        }
     }
 
     /// Re-runs the search from this finder's source under a (possibly
@@ -112,6 +127,7 @@ impl<'n> ChannelFinder<'n> {
     fn refresh_in(&mut self, ws: &mut DijkstraWorkspace, capacity: &CapacityMap) {
         let source = self.run.source();
         run_algorithm1(ws, self.net, capacity, source).write_run(&mut self.run);
+        self.epoch = capacity.epoch();
     }
 
     /// The source user of this run.
@@ -130,10 +146,31 @@ impl<'n> ChannelFinder<'n> {
         }
         let Some(path) = self.run.path_to(destination) else {
             qnet_obs::counter!("core.channel.rejected", reason = "disconnected");
+            if qnet_obs::trace_enabled() {
+                qnet_obs::record_event(qnet_obs::TraceEvent::Candidate {
+                    source: self.run.source().index() as u32,
+                    destination: destination.index() as u32,
+                    accepted: false,
+                    reason: "disconnected",
+                    cost: 0.0,
+                    epoch: self.epoch,
+                });
+            }
             return None;
         };
         qnet_obs::counter!("core.channel.found");
-        Some(Channel::from_path(self.net, path))
+        let channel = Channel::from_path(self.net, path);
+        if qnet_obs::trace_enabled() {
+            qnet_obs::record_event(qnet_obs::TraceEvent::Candidate {
+                source: self.run.source().index() as u32,
+                destination: destination.index() as u32,
+                accepted: true,
+                reason: "ok",
+                cost: channel.rate.value(),
+                epoch: self.epoch,
+            });
+        }
+        Some(channel)
     }
 }
 

@@ -99,7 +99,16 @@ impl RoutingAlgorithm for ConflictFree {
         {
             let _phase1 = qnet_obs::span!("core.conflict_free.admit");
             for c in seed_channels {
-                if capacity.admits(&c) {
+                let admitted = capacity.admits(&c);
+                if qnet_obs::trace_enabled() {
+                    qnet_obs::record_event(qnet_obs::TraceEvent::Admission {
+                        algo: "alg3",
+                        accepted: admitted,
+                        rate: c.rate.value(),
+                        epoch: capacity.epoch(),
+                    });
+                }
+                if admitted {
                     capacity.reserve(&c);
                     let merged = uf.union_nodes(c.source(), c.destination());
                     debug_assert!(merged, "Algorithm 2's tree is acyclic");
@@ -118,7 +127,9 @@ impl RoutingAlgorithm for ConflictFree {
         // Sources repeat across reconnection rounds; the cache re-runs a
         // source only after a reservation changed capacity.
         let mut cache = ChannelFinderCache::new(net);
+        let mut round = 0u32;
         while !all_connected(&mut uf, users) {
+            round += 1;
             qnet_obs::counter!("core.conflict_free.reconnections");
             let mut best: Option<Channel> = None;
             for (i, &src) in users.iter().enumerate() {
@@ -139,6 +150,16 @@ impl RoutingAlgorithm for ConflictFree {
                 let (a, b) = first_split_pair(&mut uf, users);
                 return Err(RoutingError::NoFeasibleChannel { a, b });
             };
+            if qnet_obs::trace_enabled() {
+                qnet_obs::record_event(qnet_obs::TraceEvent::TreeStep {
+                    algo: "alg3",
+                    round,
+                    source: c.source().index() as u32,
+                    destination: c.destination().index() as u32,
+                    rate: c.rate.value(),
+                    epoch: capacity.epoch(),
+                });
+            }
             capacity.reserve(&c);
             uf.union_nodes(c.source(), c.destination());
             tree.push(c);

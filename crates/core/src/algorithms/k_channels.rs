@@ -53,10 +53,34 @@ pub fn k_best_channels_in(
         edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
         can_relay: |v: NodeId| net.kind(v).is_switch() && capacity.can_relay(v),
     };
-    k_shortest_paths_in(ws, net.graph(), a, b, k, &cfg)
+    let channels: Vec<Channel> = k_shortest_paths_in(ws, net.graph(), a, b, k, &cfg)
         .into_iter()
         .map(|p| Channel::from_path(net, p))
-        .collect()
+        .collect();
+    if qnet_obs::trace_enabled() {
+        let epoch = capacity.epoch();
+        if channels.is_empty() {
+            qnet_obs::record_event(qnet_obs::TraceEvent::Candidate {
+                source: a.index() as u32,
+                destination: b.index() as u32,
+                accepted: false,
+                reason: "disconnected",
+                cost: 0.0,
+                epoch,
+            });
+        }
+        for channel in &channels {
+            qnet_obs::record_event(qnet_obs::TraceEvent::Candidate {
+                source: a.index() as u32,
+                destination: b.index() as u32,
+                accepted: true,
+                reason: "ksp",
+                cost: channel.rate.value(),
+                epoch,
+            });
+        }
+    }
+    channels
 }
 
 #[cfg(test)]

@@ -113,6 +113,15 @@ fn improve_once(
 
     for removal in index_sets {
         if let Some(better) = try_move(net, tree, &removal, k, ws) {
+            if qnet_obs::trace_enabled() {
+                let old_rate: Rate = removal.iter().map(|&i| tree.channels[i].rate).product();
+                let new_rate: Rate = better.iter().map(|c| c.rate).product();
+                qnet_obs::record_event(qnet_obs::TraceEvent::MoveAccepted {
+                    arity: arity as u32,
+                    old_rate: old_rate.value(),
+                    new_rate: new_rate.value(),
+                });
+            }
             // Apply: drop the removed channels, add the replacements.
             let removed: HashSet<usize> = removal.iter().copied().collect();
             let mut channels: Vec<Channel> = tree

@@ -76,7 +76,7 @@ impl PrimBased {
         // search only after a reservation actually changed capacity.
         let mut cache = ChannelFinderCache::new(net);
 
-        for _round in 1..users.len() {
+        for round in 1..users.len() {
             let _round_span = qnet_obs::span!("core.prim_based.round");
             qnet_obs::counter!("core.prim_based.rounds");
             let mut best: Option<Channel> = None;
@@ -98,6 +98,16 @@ impl PrimBased {
                     .expect("round runs only while U₂ is non-empty");
                 return Err(RoutingError::NoFeasibleChannel { a: u0, b: stranded });
             };
+            if qnet_obs::trace_enabled() {
+                qnet_obs::record_event(qnet_obs::TraceEvent::TreeStep {
+                    algo: "alg4",
+                    round: round as u32,
+                    source: c.source().index() as u32,
+                    destination: c.destination().index() as u32,
+                    rate: c.rate.value(),
+                    epoch: capacity.epoch(),
+                });
+            }
             capacity.reserve(&c);
             // The destination is whichever endpoint was still in U₂.
             let newcomer = if in_tree[c.source().index()] {

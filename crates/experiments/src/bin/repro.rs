@@ -3,17 +3,24 @@
 //! ```text
 //! repro <fig5|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|headline|ablations|convergence|beyond|all> \
 //!       [--trials N] [--seed S] [--out DIR]
+//! repro obs-diff <baseline.json> <candidate.json> \
+//!       [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
 //! one CSV per table into the directory. `--obs-report` additionally
 //! snapshots the observability state (span tree, counters, histograms)
-//! into one `results/obs/<id>.json` per suite.
+//! into one `results/obs/<id>.json` per suite — plus, at
+//! `MUERP_OBS=trace`, the flight-recorder contents as
+//! `results/obs/<id>.trace.jsonl`.
+//!
+//! `obs-diff` compares two such reports and exits non-zero when the
+//! candidate regresses past the thresholds (the CI gate).
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use muerp_experiments::cli;
+use muerp_experiments::cli::{self, Command, ObsDiffArgs};
 use muerp_experiments::{ablations, beyond, convergence, figures};
 use muerp_experiments::{FigureTable, TrialConfig};
 
@@ -45,9 +52,51 @@ fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
     }
 }
 
+/// Loads one serialized [`qnet_obs::RunReport`] from disk.
+fn load_report(path: &Path) -> Result<qnet_obs::RunReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    qnet_obs::RunReport::from_json(&value).ok_or_else(|| {
+        format!(
+            "{} does not look like a run report (or its schema_version is newer than {})",
+            path.display(),
+            qnet_obs::SCHEMA_VERSION
+        )
+    })
+}
+
+fn run_obs_diff(args: &ObsDiffArgs) -> ExitCode {
+    let (baseline, candidate) = match (load_report(&args.baseline), load_report(&args.candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = qnet_obs::diff_reports(&baseline, &candidate, &args.options());
+    print!("{}", diff.render_table());
+    if diff.has_regressions() {
+        let n = diff.regression_count();
+        if args.warn_only {
+            println!("obs-diff: {n} regression(s) — ignored (--warn-only)");
+            ExitCode::SUCCESS
+        } else {
+            println!("obs-diff: {n} regression(s)");
+            ExitCode::from(2)
+        }
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match cli::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
+    let args = match cli::parse_command(std::env::args().skip(1)) {
+        Ok(Command::Run(a)) => a,
+        Ok(Command::ObsDiff(d)) => return run_obs_diff(&d),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -73,6 +122,7 @@ fn main() -> ExitCode {
             // Per-suite deltas: zero everything before each suite runs.
             qnet_obs::global().reset();
             qnet_obs::reset_spans();
+            qnet_obs::reset_trace();
         }
         for table in run_one(id, args.cfg) {
             println!("{}", table.render_text());
@@ -92,6 +142,15 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("cannot write obs report for {id}: {e}");
                     return ExitCode::FAILURE;
+                }
+            }
+            if qnet_obs::trace_enabled() {
+                match qnet_obs::write_trace_jsonl(Path::new("results/obs"), id) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("cannot write trace for {id}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }

@@ -33,7 +33,122 @@ pub struct Args {
     pub obs_report: bool,
 }
 
-/// Parses the arguments (without the program name).
+/// A full `repro` invocation: either the default experiment runner or
+/// one of the subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run experiment suites (the default, historical behavior).
+    Run(Args),
+    /// `repro obs-diff <baseline.json> <candidate.json>`: compare two
+    /// observability run reports and fail on regressions.
+    ObsDiff(ObsDiffArgs),
+}
+
+/// Arguments of the `obs-diff` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsDiffArgs {
+    /// The reference report (usually a tracked baseline).
+    pub baseline: PathBuf,
+    /// The freshly produced report to judge.
+    pub candidate: PathBuf,
+    /// Span slowdown ratio flagged as a regression.
+    pub span_ratio: f64,
+    /// Counter drift ratio flagged as a regression.
+    pub counter_ratio: f64,
+    /// Spans whose larger side is below this many µs are never flagged.
+    pub min_span_us: u64,
+    /// Print the table but always exit 0 (CI advisory mode).
+    pub warn_only: bool,
+}
+
+impl ObsDiffArgs {
+    /// The diff thresholds these arguments select.
+    pub fn options(&self) -> qnet_obs::DiffOptions {
+        qnet_obs::DiffOptions {
+            span_ratio: self.span_ratio,
+            counter_ratio: self.counter_ratio,
+            min_span_us: self.min_span_us,
+            ..qnet_obs::DiffOptions::default()
+        }
+    }
+}
+
+/// Parses a full command line (without the program name), dispatching on
+/// an optional leading subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown subcommands/ids/flags,
+/// missing flag values, or an empty selection.
+pub fn parse_command<I>(argv: I) -> Result<Command, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut argv = argv.into_iter().peekable();
+    if argv.peek().map(String::as_str) == Some("obs-diff") {
+        argv.next();
+        return parse_obs_diff(argv).map(Command::ObsDiff);
+    }
+    parse(argv).map(Command::Run)
+}
+
+fn parse_obs_diff<I>(argv: I) -> Result<ObsDiffArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let defaults = qnet_obs::DiffOptions::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut span_ratio = defaults.span_ratio;
+    let mut counter_ratio = defaults.counter_ratio;
+    let mut min_span_us = defaults.min_span_us;
+    let mut warn_only = false;
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--span-ratio" => {
+                let v = argv.next().ok_or("--span-ratio needs a value")?;
+                span_ratio = v.parse().map_err(|e| format!("bad --span-ratio: {e}"))?;
+                if !span_ratio.is_finite() || span_ratio <= 1.0 {
+                    return Err("--span-ratio must be greater than 1".into());
+                }
+            }
+            "--counter-ratio" => {
+                let v = argv.next().ok_or("--counter-ratio needs a value")?;
+                counter_ratio = v.parse().map_err(|e| format!("bad --counter-ratio: {e}"))?;
+                if !counter_ratio.is_finite() || counter_ratio <= 1.0 {
+                    return Err("--counter-ratio must be greater than 1".into());
+                }
+            }
+            "--min-span-us" => {
+                let v = argv.next().ok_or("--min-span-us needs a value")?;
+                min_span_us = v.parse().map_err(|e| format!("bad --min-span-us: {e}"))?;
+            }
+            "--warn-only" => warn_only = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown obs-diff flag: {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, candidate] = <[PathBuf; 2]>::try_from(paths).map_err(|got| {
+        format!(
+            "usage: repro obs-diff <baseline.json> <candidate.json> \
+             [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only] \
+             (got {} path(s))",
+            got.len()
+        )
+    })?;
+    Ok(ObsDiffArgs {
+        baseline,
+        candidate,
+        span_ratio,
+        counter_ratio,
+        min_span_us,
+        warn_only,
+    })
+}
+
+/// Parses the runner arguments (without the program name).
 ///
 /// # Errors
 ///
@@ -159,5 +274,74 @@ mod tests {
         for id in ALL_IDS {
             assert!(e.contains(id), "usage must list {id}");
         }
+    }
+
+    #[test]
+    fn command_defaults_to_the_runner() {
+        let c = parse_command(s(&["fig5", "--trials", "2"])).unwrap();
+        let Command::Run(a) = c else {
+            panic!("expected Run, got {c:?}");
+        };
+        assert_eq!(a.which, vec!["fig5"]);
+        assert_eq!(a.cfg.trials, 2);
+    }
+
+    #[test]
+    fn obs_diff_parses_paths_and_defaults() {
+        let c = parse_command(s(&["obs-diff", "a.json", "b.json"])).unwrap();
+        let Command::ObsDiff(d) = c else {
+            panic!("expected ObsDiff, got {c:?}");
+        };
+        assert_eq!(d.baseline, PathBuf::from("a.json"));
+        assert_eq!(d.candidate, PathBuf::from("b.json"));
+        let defaults = qnet_obs::DiffOptions::default();
+        assert_eq!(d.span_ratio, defaults.span_ratio);
+        assert_eq!(d.counter_ratio, defaults.counter_ratio);
+        assert_eq!(d.min_span_us, defaults.min_span_us);
+        assert!(!d.warn_only);
+        assert!(d.options().fail_on_missing);
+    }
+
+    #[test]
+    fn obs_diff_parses_thresholds() {
+        let c = parse_command(s(&[
+            "obs-diff",
+            "base.json",
+            "--span-ratio",
+            "3.5",
+            "cand.json",
+            "--counter-ratio",
+            "4",
+            "--min-span-us",
+            "500",
+            "--warn-only",
+        ]))
+        .unwrap();
+        let Command::ObsDiff(d) = c else {
+            panic!("expected ObsDiff, got {c:?}");
+        };
+        assert_eq!(d.span_ratio, 3.5);
+        assert_eq!(d.counter_ratio, 4.0);
+        assert_eq!(d.min_span_us, 500);
+        assert!(d.warn_only);
+        assert_eq!(d.options().span_ratio, 3.5);
+    }
+
+    #[test]
+    fn obs_diff_rejects_bad_invocations() {
+        assert!(parse_command(s(&["obs-diff", "only-one.json"]))
+            .unwrap_err()
+            .contains("usage: repro obs-diff"));
+        assert!(parse_command(s(&["obs-diff", "a", "b", "c"]))
+            .unwrap_err()
+            .contains("got 3 path(s)"));
+        assert!(
+            parse_command(s(&["obs-diff", "a", "b", "--span-ratio", "0.5"]))
+                .unwrap_err()
+                .contains("greater than 1")
+        );
+        assert!(parse_command(s(&["obs-diff", "a", "b", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown obs-diff flag"));
     }
 }

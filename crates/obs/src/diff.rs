@@ -1,0 +1,514 @@
+//! Run-report diffing: the mechanical regression gate behind
+//! `repro obs-diff`.
+//!
+//! Two [`RunReport`]s — a tracked baseline and a fresh candidate — are
+//! compared along three axes:
+//!
+//! * **counters** — added/removed metric names and value drift beyond a
+//!   configurable ratio;
+//! * **spans** — per-name total wall time, flagged when the candidate/
+//!   baseline ratio exceeds the threshold (small spans below an
+//!   absolute floor are ignored: timing noise, not regressions);
+//! * **histograms** — count and p50/p90/p99 summary-quantile drift,
+//!   reported for context.
+//!
+//! Every comparison yields a [`DiffEntry`] with a [`Severity`];
+//! [`ReportDiff::has_regressions`] drives the exit code, and
+//! [`ReportDiff::render_table`] prints the aligned delta table CI logs
+//! show.
+
+use std::collections::BTreeMap;
+
+use crate::report::RunReport;
+
+/// Thresholds for [`diff_reports`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiffOptions {
+    /// A span family regresses when `candidate/baseline` total time
+    /// exceeds this ratio (default 1.8 — tight enough to catch a 2×
+    /// slowdown, loose enough for scheduler noise).
+    pub span_ratio: f64,
+    /// A counter regresses when its value drifts beyond this ratio in
+    /// either direction (default 2.0; deterministic counters from the
+    /// same seed should not move at all).
+    pub counter_ratio: f64,
+    /// Span families whose larger total is below this many microseconds
+    /// are never flagged (default 20 000 µs).
+    pub min_span_us: u64,
+    /// Treat a metric name present in the baseline but missing from the
+    /// candidate as a regression (default true).
+    pub fail_on_missing: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            span_ratio: 1.8,
+            counter_ratio: 2.0,
+            min_span_us: 20_000,
+            fail_on_missing: true,
+        }
+    }
+}
+
+/// How bad one diff entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Context only; never fails the gate.
+    Info,
+    /// Fails the gate (non-zero exit unless warn-only).
+    Regression,
+}
+
+/// Which axis a [`DiffEntry`] compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Counter value or presence.
+    Counter,
+    /// Per-name total span time.
+    Span,
+    /// Histogram count / summary quantiles.
+    Histogram,
+}
+
+impl DiffKind {
+    fn label(self) -> &'static str {
+        match self {
+            DiffKind::Counter => "counter",
+            DiffKind::Span => "span",
+            DiffKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Axis compared.
+    pub kind: DiffKind,
+    /// Metric/span name (counters keep their label suffix).
+    pub name: String,
+    /// Rendered baseline value (`-` when absent).
+    pub baseline: String,
+    /// Rendered candidate value (`-` when absent).
+    pub candidate: String,
+    /// Human-readable delta (`ratio 2.10×`, `added`, `removed`, …).
+    pub note: String,
+    /// Whether this entry fails the gate.
+    pub severity: Severity,
+}
+
+/// The full comparison of two reports.
+#[derive(Clone, Debug, Default)]
+pub struct ReportDiff {
+    /// All entries, regressions first, then by (kind, name).
+    pub entries: Vec<DiffEntry>,
+}
+
+impl ReportDiff {
+    /// `true` when any entry is a [`Severity::Regression`].
+    pub fn has_regressions(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.severity == Severity::Regression)
+    }
+
+    /// Number of regression entries.
+    pub fn regression_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.severity == Severity::Regression)
+            .count()
+    }
+
+    /// The aligned delta table (one line per entry, regressions
+    /// marked `FAIL`), or a single OK line when nothing differed.
+    pub fn render_table(&self) -> String {
+        if self.entries.is_empty() {
+            return "obs-diff: no differences\n".to_string();
+        }
+        let header = [
+            "STATUS".to_string(),
+            "KIND".to_string(),
+            "NAME".to_string(),
+            "BASELINE".to_string(),
+            "CANDIDATE".to_string(),
+            "NOTE".to_string(),
+        ];
+        let rows: Vec<[String; 6]> = std::iter::once(header)
+            .chain(self.entries.iter().map(|e| {
+                [
+                    match e.severity {
+                        Severity::Regression => "FAIL".to_string(),
+                        Severity::Info => "info".to_string(),
+                    },
+                    e.kind.label().to_string(),
+                    e.name.clone(),
+                    e.baseline.clone(),
+                    e.candidate.clone(),
+                    e.note.clone(),
+                ]
+            }))
+            .collect();
+        let mut widths = [0usize; 6];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            for (i, (w, cell)) in widths.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                if i + 1 < row.len() {
+                    for _ in cell.len()..*w {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn ratio_note(base: f64, cand: f64) -> String {
+    if base == 0.0 {
+        "baseline zero".to_string()
+    } else {
+        format!("ratio {:.2}x", cand / base)
+    }
+}
+
+/// Drift beyond `ratio` in either direction (growth or shrink).
+fn drifted(base: f64, cand: f64, ratio: f64) -> bool {
+    if base == 0.0 || cand == 0.0 {
+        return base != cand;
+    }
+    let r = cand / base;
+    r >= ratio || r <= 1.0 / ratio
+}
+
+/// Compares `candidate` against `baseline` under `opts`.
+pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, opts: &DiffOptions) -> ReportDiff {
+    let mut entries = Vec::new();
+
+    // Counters: keyed by rendered name (label included).
+    let base_counters: BTreeMap<&str, u64> = baseline
+        .counters
+        .iter()
+        .map(|c| (c.key.as_str(), c.value))
+        .collect();
+    let cand_counters: BTreeMap<&str, u64> = candidate
+        .counters
+        .iter()
+        .map(|c| (c.key.as_str(), c.value))
+        .collect();
+    for (&name, &base) in &base_counters {
+        match cand_counters.get(name) {
+            None => entries.push(DiffEntry {
+                kind: DiffKind::Counter,
+                name: name.to_string(),
+                baseline: base.to_string(),
+                candidate: "-".to_string(),
+                note: "removed".to_string(),
+                severity: if opts.fail_on_missing {
+                    Severity::Regression
+                } else {
+                    Severity::Info
+                },
+            }),
+            Some(&cand) if cand != base => entries.push(DiffEntry {
+                kind: DiffKind::Counter,
+                name: name.to_string(),
+                baseline: base.to_string(),
+                candidate: cand.to_string(),
+                note: format!("{} {}", ratio_note(base as f64, cand as f64), {
+                    let delta = cand as i128 - base as i128;
+                    if delta >= 0 {
+                        format!("(+{delta})")
+                    } else {
+                        format!("({delta})")
+                    }
+                }),
+                severity: if drifted(base as f64, cand as f64, opts.counter_ratio) {
+                    Severity::Regression
+                } else {
+                    Severity::Info
+                },
+            }),
+            Some(_) => {}
+        }
+    }
+    for (&name, &cand) in &cand_counters {
+        if !base_counters.contains_key(name) {
+            entries.push(DiffEntry {
+                kind: DiffKind::Counter,
+                name: name.to_string(),
+                baseline: "-".to_string(),
+                candidate: cand.to_string(),
+                note: "added".to_string(),
+                severity: Severity::Info,
+            });
+        }
+    }
+
+    // Spans: total duration per name.
+    let total = |report: &RunReport| -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for s in &report.spans {
+            *m.entry(s.name.clone()).or_insert(0u64) += s.duration_us;
+        }
+        m
+    };
+    let base_spans = total(baseline);
+    let cand_spans = total(candidate);
+    for (name, &base) in &base_spans {
+        match cand_spans.get(name) {
+            None => entries.push(DiffEntry {
+                kind: DiffKind::Span,
+                name: name.clone(),
+                baseline: format!("{base}us"),
+                candidate: "-".to_string(),
+                note: "removed".to_string(),
+                severity: if opts.fail_on_missing && base >= opts.min_span_us {
+                    Severity::Regression
+                } else {
+                    Severity::Info
+                },
+            }),
+            Some(&cand) if cand != base => {
+                let big_enough = base.max(cand) >= opts.min_span_us;
+                let slower = base > 0 && cand as f64 / base as f64 >= opts.span_ratio;
+                entries.push(DiffEntry {
+                    kind: DiffKind::Span,
+                    name: name.clone(),
+                    baseline: format!("{base}us"),
+                    candidate: format!("{cand}us"),
+                    note: ratio_note(base as f64, cand as f64),
+                    severity: if big_enough && slower {
+                        Severity::Regression
+                    } else {
+                        Severity::Info
+                    },
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, &cand) in &cand_spans {
+        if !base_spans.contains_key(name) {
+            entries.push(DiffEntry {
+                kind: DiffKind::Span,
+                name: name.clone(),
+                baseline: "-".to_string(),
+                candidate: format!("{cand}us"),
+                note: "added".to_string(),
+                severity: Severity::Info,
+            });
+        }
+    }
+
+    // Histograms: count plus the summary quantiles, context only —
+    // quantile movement is interesting but octave-granular, so it never
+    // fails the gate by itself (missing names do, like any metric).
+    let base_hists: BTreeMap<&str, &crate::HistogramSnapshot> = baseline
+        .histograms
+        .iter()
+        .map(|h| (h.key.as_str(), h))
+        .collect();
+    let cand_hists: BTreeMap<&str, &crate::HistogramSnapshot> = candidate
+        .histograms
+        .iter()
+        .map(|h| (h.key.as_str(), h))
+        .collect();
+    for (&name, base) in &base_hists {
+        match cand_hists.get(name) {
+            None => entries.push(DiffEntry {
+                kind: DiffKind::Histogram,
+                name: name.to_string(),
+                baseline: format!("n={}", base.count),
+                candidate: "-".to_string(),
+                note: "removed".to_string(),
+                severity: if opts.fail_on_missing {
+                    Severity::Regression
+                } else {
+                    Severity::Info
+                },
+            }),
+            Some(cand)
+                if cand.count != base.count
+                    || (cand.p50, cand.p90, cand.p99) != (base.p50, base.p90, base.p99) =>
+            {
+                entries.push(DiffEntry {
+                    kind: DiffKind::Histogram,
+                    name: name.to_string(),
+                    baseline: format!(
+                        "n={} p50={:.0} p90={:.0} p99={:.0}",
+                        base.count, base.p50, base.p90, base.p99
+                    ),
+                    candidate: format!(
+                        "n={} p50={:.0} p90={:.0} p99={:.0}",
+                        cand.count, cand.p50, cand.p90, cand.p99
+                    ),
+                    note: "distribution moved".to_string(),
+                    severity: Severity::Info,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (&name, cand) in &cand_hists {
+        if !base_hists.contains_key(name) {
+            entries.push(DiffEntry {
+                kind: DiffKind::Histogram,
+                name: name.to_string(),
+                baseline: "-".to_string(),
+                candidate: format!("n={}", cand.count),
+                note: "added".to_string(),
+                severity: Severity::Info,
+            });
+        }
+    }
+
+    entries.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.kind.label().cmp(b.kind.label()))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    ReportDiff { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SCHEMA_VERSION;
+    use crate::{CounterSnapshot, HistogramSnapshot, SpanSnapshot};
+
+    fn report(spans: Vec<(&str, u64)>, counters: Vec<(&str, u64)>) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            run: "test".into(),
+            level: "full".into(),
+            spans: spans
+                .into_iter()
+                .map(|(name, duration_us)| SpanSnapshot {
+                    name: name.into(),
+                    parent: None,
+                    thread: 1,
+                    start_us: 0,
+                    duration_us,
+                })
+                .collect(),
+            counters: counters
+                .into_iter()
+                .map(|(key, value)| CounterSnapshot {
+                    key: key.into(),
+                    value,
+                })
+                .collect(),
+            histograms: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let a = report(vec![("core.x.solve", 100_000)], vec![("core.x.solves", 12)]);
+        let d = diff_reports(&a, &a.clone(), &DiffOptions::default());
+        assert!(d.entries.is_empty());
+        assert!(!d.has_regressions());
+        assert!(d.render_table().contains("no differences"));
+    }
+
+    #[test]
+    fn doubled_span_time_is_a_regression() {
+        let base = report(vec![("core.x.solve", 100_000)], vec![]);
+        let cand = report(vec![("core.x.solve", 200_000)], vec![]);
+        let d = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(d.has_regressions());
+        let table = d.render_table();
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("core.x.solve"));
+        assert!(table.contains("2.00x"));
+        // The reverse direction (a speedup) is informational.
+        let d = diff_reports(&cand, &base, &DiffOptions::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.entries.len(), 1);
+    }
+
+    #[test]
+    fn tiny_spans_are_noise_not_regressions() {
+        let base = report(vec![("core.x.solve", 50)], vec![]);
+        let cand = report(vec![("core.x.solve", 500)], vec![]);
+        let d = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!d.has_regressions(), "10x on 50us is below the floor");
+        assert_eq!(d.entries.len(), 1, "still reported for context");
+    }
+
+    #[test]
+    fn removed_counter_fails_added_counter_informs() {
+        let base = report(vec![], vec![("core.x.solves", 5)]);
+        let cand = report(vec![], vec![("core.y.solves", 5)]);
+        let d = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.regression_count(), 1);
+        let removed = d.entries.iter().find(|e| e.note == "removed").unwrap();
+        assert_eq!(removed.name, "core.x.solves");
+        let added = d.entries.iter().find(|e| e.note == "added").unwrap();
+        assert_eq!(added.severity, Severity::Info);
+        // warn-only style: missing tolerated.
+        let opts = DiffOptions {
+            fail_on_missing: false,
+            ..DiffOptions::default()
+        };
+        assert!(!diff_reports(&base, &cand, &opts).has_regressions());
+    }
+
+    #[test]
+    fn counter_drift_beyond_ratio_fails() {
+        let base = report(vec![], vec![("core.x.rounds", 10)]);
+        let mild = report(vec![], vec![("core.x.rounds", 15)]);
+        let wild = report(vec![], vec![("core.x.rounds", 25)]);
+        let opts = DiffOptions::default();
+        assert!(!diff_reports(&base, &mild, &opts).has_regressions());
+        assert!(diff_reports(&base, &wild, &opts).has_regressions());
+        // Shrinking drift is symmetric.
+        assert!(diff_reports(&wild, &base, &opts).has_regressions());
+    }
+
+    #[test]
+    fn histogram_quantile_movement_is_surfaced() {
+        let mut base = report(vec![], vec![]);
+        base.histograms.push(HistogramSnapshot {
+            key: "sim.slot.us".into(),
+            count: 10,
+            sum: 100,
+            mean: 10.0,
+            p50: 8.0,
+            p90: 14.0,
+            p99: 16.0,
+            buckets: vec![(4, 10)],
+        });
+        let mut cand = base.clone();
+        cand.histograms[0].p99 = 60.0;
+        let d = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!d.has_regressions());
+        let entry = &d.entries[0];
+        assert_eq!(entry.kind, DiffKind::Histogram);
+        assert!(entry.baseline.contains("p99=16"));
+        assert!(entry.candidate.contains("p99=60"));
+    }
+
+    #[test]
+    fn regressions_sort_before_context() {
+        let base = report(vec![("core.x.solve", 100_000)], vec![("core.x.solves", 5)]);
+        let cand = report(vec![("core.x.solve", 300_000)], vec![("core.x.solves", 6)]);
+        let d = diff_reports(&base, &cand, &DiffOptions::default());
+        assert_eq!(d.entries[0].severity, Severity::Regression);
+        assert_eq!(d.entries.last().unwrap().severity, Severity::Info);
+    }
+}

@@ -12,15 +12,19 @@ pub enum ObsLevel {
     Counters = 1,
     /// Counters plus hierarchical spans (one mutex op per span).
     Full = 2,
+    /// Everything, plus per-decision [`crate::TraceEvent`]s into the
+    /// flight recorder (one mutex op per event).
+    Trace = 3,
 }
 
 impl ObsLevel {
-    /// Canonical lowercase name (`off` / `counters` / `full`).
+    /// Canonical lowercase name (`off` / `counters` / `full` / `trace`).
     pub fn name(self) -> &'static str {
         match self {
             ObsLevel::Off => "off",
             ObsLevel::Counters => "counters",
             ObsLevel::Full => "full",
+            ObsLevel::Trace => "trace",
         }
     }
 
@@ -30,6 +34,7 @@ impl ObsLevel {
             "off" | "0" | "none" => Some(ObsLevel::Off),
             "counters" | "1" => Some(ObsLevel::Counters),
             "full" | "2" => Some(ObsLevel::Full),
+            "trace" | "3" => Some(ObsLevel::Trace),
             _ => None,
         }
     }
@@ -56,7 +61,8 @@ fn decode(raw: u8) -> ObsLevel {
     match raw {
         0 => ObsLevel::Off,
         1 => ObsLevel::Counters,
-        _ => ObsLevel::Full,
+        2 => ObsLevel::Full,
+        _ => ObsLevel::Trace,
     }
 }
 
@@ -92,6 +98,7 @@ mod tests {
         assert_eq!(ObsLevel::parse("off"), Some(ObsLevel::Off));
         assert_eq!(ObsLevel::parse(" Counters "), Some(ObsLevel::Counters));
         assert_eq!(ObsLevel::parse("FULL"), Some(ObsLevel::Full));
+        assert_eq!(ObsLevel::parse("trace"), Some(ObsLevel::Trace));
         assert_eq!(ObsLevel::parse("bogus"), None);
     }
 
@@ -111,5 +118,6 @@ mod tests {
     fn ordering_matches_verbosity() {
         assert!(ObsLevel::Off < ObsLevel::Counters);
         assert!(ObsLevel::Counters < ObsLevel::Full);
+        assert!(ObsLevel::Full < ObsLevel::Trace);
     }
 }

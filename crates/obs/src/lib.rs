@@ -12,14 +12,22 @@
 //! The global level is read once from the `MUERP_OBS` environment
 //! variable:
 //!
-//! | value      | spans | counters/histograms | typical cost            |
-//! |------------|-------|---------------------|-------------------------|
-//! | `off`      | no    | no                  | one relaxed atomic load |
-//! | `counters` | no    | yes                 | a few atomic adds       |
-//! | `full`     | yes   | yes                 | + one mutex op per span |
+//! | value      | spans | counters/histograms | trace events | typical cost             |
+//! |------------|-------|---------------------|--------------|--------------------------|
+//! | `off`      | no    | no                  | no           | one relaxed atomic load  |
+//! | `counters` | no    | yes                 | no           | a few atomic adds        |
+//! | `full`     | yes   | yes                 | no           | + one mutex op per span  |
+//! | `trace`    | yes   | yes                 | yes          | + one mutex op per event |
 //!
 //! Unset defaults to `counters`. [`set_level`] overrides the variable at
 //! runtime (used by benches, tests, and `repro --obs-report`).
+//!
+//! At `trace`, every solver decision (channel candidates, tree-growth
+//! rounds, beam prunes, local-search moves) and every bridged protocol
+//! step lands in the [flight recorder](FlightRecorder) — a
+//! fixed-capacity, generation-stamped ring exported as JSONL next to
+//! the run reports. [`diff_reports`] compares two serialized
+//! [`RunReport`]s and powers the `repro obs-diff` regression gate.
 //!
 //! ## Naming convention
 //!
@@ -48,17 +56,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod level;
 mod registry;
 mod report;
 mod span;
+mod trace;
 
+pub use diff::{diff_reports, DiffEntry, DiffKind, DiffOptions, ReportDiff, Severity};
 pub use level::{enabled, level, set_level, ObsLevel};
 pub use registry::{
-    global, Counter, CounterSnapshot, Histogram, HistogramSnapshot, MetricKey, Registry,
+    global, quantiles_from_buckets, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
+    MetricKey, Registry,
 };
-pub use report::{write_report, RunReport, SpanSnapshot};
+pub use report::{write_report, RunReport, SpanSnapshot, SCHEMA_VERSION};
 pub use span::{enter, reset_spans, SpanGuard};
+pub use trace::{
+    record_event, recorder, reset_trace, set_trace_capacity, trace_enabled, trace_snapshot,
+    write_trace_jsonl, FlightRecorder, Stamped, TraceEvent, DEFAULT_TRACE_CAPACITY,
+};
 
 /// Serializes unit tests that mutate the process-global level or span
 /// store, since the default test harness runs them in parallel.

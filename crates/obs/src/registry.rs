@@ -153,9 +153,51 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Mean sample.
     pub mean: f64,
+    /// Estimated median (see [`quantiles_from_buckets`]).
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
     /// Non-empty `(bucket_index, count)` pairs; bucket `i` covers
     /// `[2^(i-1), 2^i)` with bucket 0 holding zeros.
     pub buckets: Vec<(usize, u64)>,
+}
+
+/// Estimates the (p50, p90, p99) summary quantiles of a log-bucketed
+/// histogram from its sparse `(bucket_index, count)` pairs.
+///
+/// The rank of quantile `q` is `ceil(q·count)` (1-based); the estimate
+/// interpolates linearly inside the bucket holding that rank, whose
+/// value range is `[2^(i-1), 2^i)` (bucket 0 is exactly 0). Bounded by
+/// construction to at most one octave of error — the price of sparse
+/// fixed-size buckets over full sample retention.
+pub fn quantiles_from_buckets(count: u64, buckets: &[(usize, u64)]) -> (f64, f64, f64) {
+    if count == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let one = |q: f64| -> f64 {
+        let rank = (q * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in buckets {
+            if seen + n >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u128 << (i - 1)) as f64;
+                let hi = (1u128 << i) as f64;
+                let into = (rank - seen) as f64 / n as f64;
+                return lo + into * (hi - lo);
+            }
+            seen += n;
+        }
+        // Ranks beyond the recorded mass (impossible when count matches
+        // the bucket totals): the top bucket's upper edge.
+        buckets
+            .last()
+            .map_or(0.0, |&(i, _)| (1u128 << i.min(127)) as f64)
+    };
+    (one(0.50), one(0.90), one(0.99))
 }
 
 /// Owns all counters and histograms for one scope (usually the process,
@@ -220,17 +262,25 @@ impl Registry {
             .read()
             .iter()
             .filter(|(_, h)| h.count() > 0)
-            .map(|(k, h)| HistogramSnapshot {
-                key: k.render(),
-                count: h.count(),
-                sum: h.sum(),
-                mean: h.mean(),
-                buckets: h
+            .map(|(k, h)| {
+                let count = h.count();
+                let buckets: Vec<(usize, u64)> = h
                     .buckets()
                     .into_iter()
                     .enumerate()
                     .filter(|&(_, n)| n > 0)
-                    .collect(),
+                    .collect();
+                let (p50, p90, p99) = quantiles_from_buckets(count, &buckets);
+                HistogramSnapshot {
+                    key: k.render(),
+                    count,
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    p50,
+                    p90,
+                    p99,
+                    buckets,
+                }
             })
             .collect()
     }
@@ -326,6 +376,37 @@ mod tests {
         assert_eq!(buckets[63], 1);
         let wrapped_sum = 1030u64.wrapping_add(u64::MAX); // sum wraps on overflow
         assert!((h.mean() - wrapped_sum as f64 / 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log_buckets() {
+        // 100 samples: 50 zeros, 40 in bucket 4 ([8,16)), 10 in
+        // bucket 10 ([512,1024)).
+        let buckets = [(0usize, 50u64), (4, 40), (10, 10)];
+        let (p50, p90, p99) = quantiles_from_buckets(100, &buckets);
+        assert_eq!(p50, 0.0, "rank 50 lands on the zero bucket");
+        // Rank 90 is the last of bucket 4 → its upper edge.
+        assert_eq!(p90, 16.0);
+        // Rank 99 is 9/10 into bucket 10: 512 + 0.9·512.
+        assert!((p99 - (512.0 + 0.9 * 512.0)).abs() < 1e-9);
+        assert_eq!(quantiles_from_buckets(0, &[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_the_helper() {
+        let reg = Registry::new();
+        let key = MetricKey {
+            name: "test.registry.latency",
+            label: None,
+        };
+        let h = reg.histogram(key);
+        for v in [0u64, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        let snap = &reg.histogram_snapshots()[0];
+        let (p50, p90, p99) = quantiles_from_buckets(snap.count, &snap.buckets);
+        assert_eq!((snap.p50, snap.p90, snap.p99), (p50, p90, p99));
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
     }
 
     #[test]

@@ -7,8 +7,20 @@ use std::path::{Path, PathBuf};
 use serde_json::Value;
 
 use crate::level;
-use crate::registry::{global, CounterSnapshot, HistogramSnapshot};
+use crate::registry::{global, quantiles_from_buckets, CounterSnapshot, HistogramSnapshot};
 use crate::span::snapshot_spans;
+
+/// Version written into every serialized report. History:
+///
+/// * **1** — implicit (no `schema_version` field): spans + counters +
+///   histograms without summary quantiles.
+/// * **2** — explicit `schema_version`; histograms carry `p50`/`p90`/
+///   `p99`.
+///
+/// [`RunReport::from_json`] accepts any version up to this one and
+/// migrates older shapes on read (missing quantiles are recomputed from
+/// the buckets), so `obs-diff` can compare reports across versions.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A span as it appears in a run report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,6 +42,10 @@ pub struct SpanSnapshot {
 /// named run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// Schema version this report was captured or parsed as (see
+    /// [`SCHEMA_VERSION`]); serialization always writes the current
+    /// version.
+    pub schema_version: u32,
     /// Run identifier (suite/figure name, bench id, ...).
     pub run: String,
     /// Level that was active at capture time.
@@ -50,6 +66,7 @@ impl RunReport {
     pub fn capture(run: &str) -> RunReport {
         let reg = global();
         RunReport {
+            schema_version: SCHEMA_VERSION,
             run: run.to_string(),
             level: level::level().name().to_string(),
             spans: snapshot_spans()
@@ -85,6 +102,7 @@ impl RunReport {
     /// The report as a JSON value.
     pub fn to_json(&self) -> Value {
         let mut root = serde_json::Map::new();
+        root.insert("schema_version".into(), Value::from(SCHEMA_VERSION));
         root.insert("run".into(), Value::from(self.run.as_str()));
         root.insert("level".into(), Value::from(self.level.as_str()));
         root.insert(
@@ -132,6 +150,9 @@ impl RunReport {
                         m.insert("count".into(), Value::from(h.count));
                         m.insert("sum".into(), Value::from(h.sum));
                         m.insert("mean".into(), Value::from(h.mean));
+                        m.insert("p50".into(), Value::from(h.p50));
+                        m.insert("p90".into(), Value::from(h.p90));
+                        m.insert("p99".into(), Value::from(h.p99));
                         m.insert(
                             "buckets".into(),
                             Value::Array(
@@ -153,7 +174,20 @@ impl RunReport {
 
     /// Rebuilds a report from its JSON form (inverse of
     /// [`RunReport::to_json`]); `None` when the shape does not match.
+    ///
+    /// Accepts every schema version up to [`SCHEMA_VERSION`]. A report
+    /// without a `schema_version` field is treated as version 1 and
+    /// migrated: histogram quantiles missing on disk are recomputed
+    /// from the stored buckets. Versions *newer* than this binary are
+    /// rejected (`None`) rather than misread.
     pub fn from_json(v: &Value) -> Option<RunReport> {
+        let schema_version = match v.get("schema_version") {
+            None => 1,
+            Some(s) => u32::try_from(s.as_u64()?).ok()?,
+        };
+        if schema_version > SCHEMA_VERSION {
+            return None;
+        }
         let spans = v
             .get("spans")?
             .as_array()?
@@ -187,24 +221,40 @@ impl RunReport {
             .as_array()?
             .iter()
             .map(|h| {
+                let count = h.get("count")?.as_u64()?;
+                let buckets = h
+                    .get("buckets")?
+                    .as_array()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array()?;
+                        Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                // Version-1 reports lack the summary quantiles; rebuild
+                // them from the buckets they do carry.
+                let (p50, p90, p99) = match h.get("p50") {
+                    Some(_) => (
+                        h.get("p50")?.as_f64()?,
+                        h.get("p90")?.as_f64()?,
+                        h.get("p99")?.as_f64()?,
+                    ),
+                    None => quantiles_from_buckets(count, &buckets),
+                };
                 Some(HistogramSnapshot {
                     key: h.get("key")?.as_str()?.to_string(),
-                    count: h.get("count")?.as_u64()?,
+                    count,
                     sum: h.get("sum")?.as_u64()?,
                     mean: h.get("mean")?.as_f64()?,
-                    buckets: h
-                        .get("buckets")?
-                        .as_array()?
-                        .iter()
-                        .map(|pair| {
-                            let pair = pair.as_array()?;
-                            Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
-                        })
-                        .collect::<Option<Vec<_>>>()?,
+                    p50,
+                    p90,
+                    p99,
+                    buckets,
                 })
             })
             .collect::<Option<Vec<_>>>()?;
         Some(RunReport {
+            schema_version,
             run: v.get("run")?.as_str()?.to_string(),
             level: v.get("level")?.as_str()?.to_string(),
             spans,
@@ -246,6 +296,7 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_the_report() {
         let report = RunReport {
+            schema_version: SCHEMA_VERSION,
             run: "unit".into(),
             level: "full".into(),
             spans: vec![
@@ -273,12 +324,16 @@ mod tests {
                 count: 3,
                 sum: 12,
                 mean: 4.0,
+                p50: 3.0,
+                p90: 6.0,
+                p99: 6.0,
                 buckets: vec![(2, 1), (3, 2)],
             }],
         };
         let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
         let parsed = serde_json::from_str(&text).expect("report JSON parses");
         let back = RunReport::from_json(&parsed).expect("shape matches");
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.run, report.run);
         assert_eq!(back.spans, report.spans);
         assert_eq!(back.counters, report.counters);
@@ -286,8 +341,64 @@ mod tests {
     }
 
     #[test]
+    fn versionless_legacy_reports_migrate_on_read() {
+        // A hand-written v1 report: no schema_version, histograms
+        // without quantiles.
+        let legacy: Value = serde_json::from_str(
+            r#"{
+                "run": "legacy",
+                "level": "counters",
+                "spans": [],
+                "counters": [{"key": "a.b.c", "value": 3}],
+                "histograms": [{
+                    "key": "a.b.us",
+                    "count": 4,
+                    "sum": 10,
+                    "mean": 2.5,
+                    "buckets": [[2, 4]]
+                }]
+            }"#,
+        )
+        .expect("legacy literal parses");
+        let report = RunReport::from_json(&legacy).expect("legacy shape accepted");
+        assert_eq!(report.schema_version, 1);
+        let h = &report.histograms[0];
+        let (p50, p90, p99) = quantiles_from_buckets(h.count, &h.buckets);
+        assert_eq!((h.p50, h.p90, h.p99), (p50, p90, p99));
+        assert!(h.p50 > 0.0, "bucket 2 holds values in [2,4)");
+        // Re-serialization upgrades to the current version.
+        let upgraded = report.to_json();
+        assert_eq!(
+            upgraded.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION as u64)
+        );
+        assert!(RunReport::from_json(&upgraded).is_some());
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let mut v = RunReport {
+            schema_version: SCHEMA_VERSION,
+            run: "x".into(),
+            level: "off".into(),
+            spans: vec![],
+            counters: vec![],
+            histograms: vec![],
+        }
+        .to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("schema_version".into(), Value::from(SCHEMA_VERSION + 1));
+        }
+        assert!(
+            RunReport::from_json(&v).is_none(),
+            "a newer report must not be silently misread"
+        );
+    }
+
+    #[test]
     fn counter_total_merges_labels() {
         let report = RunReport {
+            schema_version: SCHEMA_VERSION,
             run: "unit".into(),
             level: "counters".into(),
             spans: vec![],
@@ -318,6 +429,7 @@ mod tests {
     fn write_report_sanitizes_run_names() {
         let dir = std::env::temp_dir().join("qnet_obs_report_test");
         let report = RunReport {
+            schema_version: SCHEMA_VERSION,
             run: "fig 7/b".into(),
             level: "off".into(),
             spans: vec![],

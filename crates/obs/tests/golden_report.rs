@@ -11,7 +11,9 @@
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use qnet_obs::{CounterSnapshot, HistogramSnapshot, ObsLevel, RunReport, SpanSnapshot};
+use qnet_obs::{
+    CounterSnapshot, HistogramSnapshot, ObsLevel, RunReport, SpanSnapshot, SCHEMA_VERSION,
+};
 
 fn serial() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
@@ -30,6 +32,7 @@ fn golden_path() -> PathBuf {
 /// and a histogram with sparse buckets.
 fn fixture() -> RunReport {
     RunReport {
+        schema_version: SCHEMA_VERSION,
         run: "golden".into(),
         level: "full".into(),
         spans: vec![
@@ -70,6 +73,11 @@ fn fixture() -> RunReport {
             count: 4,
             sum: 22,
             mean: 5.5,
+            // From the buckets: rank 2 is 1/3 into bucket 3 ([4,8)),
+            // ranks for p90/p99 land at that bucket's upper edge.
+            p50: 4.0 + (1.0 / 3.0) * 4.0,
+            p90: 8.0,
+            p99: 8.0,
             buckets: vec![(2, 1), (3, 3)],
         }],
     }
@@ -117,6 +125,30 @@ fn golden_file_round_trips_through_the_typed_report() {
     assert_eq!(report.counters, fix.counters);
     assert_eq!(report.histograms, fix.histograms);
     assert_eq!(render(&report), on_disk, "to_json(from_json(x)) == x");
+}
+
+#[test]
+fn version_one_golden_file_still_parses() {
+    // `report_v1.json` is the PR-1 on-disk format, frozen: no
+    // `schema_version`, histograms without quantiles. It must keep
+    // loading (as version 1, quantiles recomputed) so `obs-diff` can
+    // compare old baselines against new reports.
+    let _serial = serial();
+    let path = golden_path().with_file_name("report_v1.json");
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing legacy golden {}: {e}", path.display()));
+    let value = serde_json::from_str(&on_disk).expect("legacy golden is valid JSON");
+    let report = RunReport::from_json(&value).expect("legacy shape accepted");
+    assert_eq!(report.schema_version, 1);
+
+    let fix = fixture();
+    assert_eq!(report.run, fix.run);
+    assert_eq!(report.spans, fix.spans);
+    assert_eq!(report.counters, fix.counters);
+    assert_eq!(
+        report.histograms, fix.histograms,
+        "migration recomputes the quantiles the v1 file lacks"
+    );
 }
 
 #[test]

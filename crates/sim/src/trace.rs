@@ -48,12 +48,40 @@ pub enum Event {
 
 /// Forwards one protocol event into the `qnet-obs` counter registry
 /// (`sim.link.attempts{outcome=…}`, `sim.swap.attempts{…}`,
-/// `sim.fusion.attempts{…}`, `sim.slot.outcomes{…}`).
+/// `sim.fusion.attempts{…}`, `sim.slot.outcomes{…}`) and, at
+/// [`qnet_obs::ObsLevel::Trace`], into the flight recorder as
+/// [`qnet_obs::TraceEvent::Protocol`] entries.
 ///
 /// The engine taps every observed slot through this bridge whenever the
 /// observability level admits counters, so Monte-Carlo runs surface
 /// their protocol-step totals without a custom observer.
 pub fn obs_bridge(event: Event) {
+    if qnet_obs::trace_enabled() {
+        let (kind, channel, index, success) = match event {
+            Event::LinkAttempt {
+                channel,
+                link,
+                success,
+            } => ("link", channel, link, success),
+            Event::Swap {
+                channel,
+                switch,
+                success,
+            } => ("swap", channel, switch, success),
+            Event::Fusion {
+                center,
+                arity,
+                success,
+            } => ("fusion", center, arity, success),
+            Event::SlotOutcome { success } => ("slot", 0, 0, success),
+        };
+        qnet_obs::record_event(qnet_obs::TraceEvent::Protocol {
+            kind,
+            channel: channel as u32,
+            index: index as u32,
+            success,
+        });
+    }
     match event {
         Event::LinkAttempt { success: true, .. } => {
             qnet_obs::counter!("sim.link.attempts", outcome = "success");
