@@ -1,0 +1,47 @@
+//! # qnet-conformance — cross-algorithm conformance harness
+//!
+//! The MUERP paper's evaluation (Figs. 5–7) assumes every routing
+//! algorithm returns a *feasible* entanglement structure with a rate
+//! that obeys Eq. 1/Eq. 2. This crate makes that assumption checkable,
+//! continuously, against every algorithm in the suite:
+//!
+//! * [`differential`] — runs the five suite algorithms plus the
+//!   extension solvers, audits every solution with the independent
+//!   [`muerp_core::audit::SolutionAudit`], and compares heuristics
+//!   against the exhaustive brute-force optimum on small instances
+//!   (heuristic rate ≤ optimal) and against each other's dominance
+//!   relations (refined ≥ base, best-of-all seeds ≥ one seed,
+//!   capacity-granted Alg-2 ≥ any real-capacity tree).
+//! * [`metamorphic`] — properties that must hold without knowing the
+//!   right answer: granting a switch more qubits never lowers the rate,
+//!   scaling every fiber length by `c` is observationally identical to
+//!   scaling the attenuation `α` by `c` (Eq. 1 depends only on the
+//!   products `α·Lᵢ`), and relabeling vertices leaves rates invariant.
+//! * [`fixture`] — JSON fixtures of solved networks (hand-rolled
+//!   [`serde_json::Value`] schema, stable across the hermetic build) so
+//!   validator semantics cannot drift silently.
+//! * [`fuzz`] — the deterministic seeded fuzz driver behind
+//!   `repro fuzz --budget <n>`: sweeps random topology specs through
+//!   generate→solve→audit, records failing seeds, and shrinks them to a
+//!   minimal counterexample before reporting.
+//! * [`simcheck`] — closes the loop against the Monte-Carlo simulator:
+//!   the measured slot success rate of an executed solution must fall
+//!   inside the Wilson interval around the analytic Eq. 2 rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod fixture;
+pub mod fuzz;
+pub mod metamorphic;
+pub mod simcheck;
+
+pub use differential::{differential_check, run_suite, ConformanceError, DifferentialReport};
+pub use fixture::{Fixture, FixtureError};
+pub use fuzz::{run_fuzz, shrink_spec, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use metamorphic::{
+    check_qubit_monotonicity, check_relabeling_invariance, check_scaling_equivalence,
+    check_scaling_law, MetamorphicFailure,
+};
+pub use simcheck::{monte_carlo_agreement, AgreementReport, SimDisagreement};

@@ -1,0 +1,404 @@
+//! Metamorphic oracles: relations between *transformed* instances that
+//! must hold without knowing the right answer for either one.
+//!
+//! * **Qubit monotonicity** — granting every switch more qubits only
+//!   enlarges the feasible set, so an optimal solver's rate can never
+//!   drop. The suite heuristics satisfy the same relation on every
+//!   fixture this harness pins (and the fuzz driver keeps checking it);
+//!   a drop is treated as a conformance failure.
+//! * **Scaling equivalence** — Eq. 1 depends on fiber lengths only via
+//!   the products `α·Lᵢ`, so multiplying every length by `c` must be
+//!   observationally identical to multiplying the attenuation by `c`:
+//!   identical link costs, identical algorithm decisions, identical
+//!   rates (up to one rounding ulp per factor).
+//! * **Scaling law** — for a *fixed* tree, scaling lengths by `c`
+//!   transforms each channel rate exactly per Eq. 1:
+//!   `cost' = c·(α·ΣL) + (l−1)·(−ln q)`.
+//! * **Relabeling invariance** — permuting vertex ids (preserving the
+//!   user-list order) changes nothing an algorithm may legitimately
+//!   depend on, so rates must be invariant.
+
+use muerp_core::audit::{AuditViolation, RATE_TOLERANCE};
+use muerp_core::model::NodeKind;
+use muerp_core::prelude::*;
+use qnet_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::differential::audited_cost;
+
+/// A violated metamorphic relation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetamorphicFailure {
+    /// A solution involved in a metamorphic pair failed the audit.
+    Audit {
+        /// Offending algorithm.
+        algo: &'static str,
+        /// The violated invariant.
+        violation: AuditViolation,
+    },
+    /// Granting switches more qubits lowered the rate.
+    QubitMonotonicity {
+        /// Offending algorithm.
+        algo: &'static str,
+        /// Negative-log rate on the original capacities.
+        base_cost: f64,
+        /// Negative-log rate after the grant (higher = worse).
+        granted_cost: f64,
+    },
+    /// Scaling lengths by `c` and scaling attenuation by `c` disagreed.
+    ScalingEquivalence {
+        /// Offending algorithm.
+        algo: &'static str,
+        /// Negative-log rate on the length-scaled copy.
+        scaled_cost: f64,
+        /// Negative-log rate on the attenuation-scaled copy.
+        attenuated_cost: f64,
+    },
+    /// A fixed channel's rate did not transform per Eq. 1 under scaling.
+    ScalingLaw {
+        /// Index of the channel in the solution.
+        index: usize,
+        /// Cost predicted by the Eq. 1 transform.
+        expected_cost: f64,
+        /// Cost actually recomputed on the scaled network.
+        actual_cost: f64,
+    },
+    /// A vertex relabeling changed the rate.
+    RelabelingVariance {
+        /// Offending algorithm.
+        algo: &'static str,
+        /// Negative-log rate on the original labeling.
+        original_cost: f64,
+        /// Negative-log rate on the relabeled copy.
+        relabeled_cost: f64,
+    },
+}
+
+impl std::fmt::Display for MetamorphicFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetamorphicFailure::Audit { algo, violation } => {
+                write!(f, "{algo}: audit violation {violation}")
+            }
+            MetamorphicFailure::QubitMonotonicity {
+                algo,
+                base_cost,
+                granted_cost,
+            } => write!(
+                f,
+                "{algo}: granting qubits raised the cost {base_cost} -> \
+                 {granted_cost} (rate dropped)"
+            ),
+            MetamorphicFailure::ScalingEquivalence {
+                algo,
+                scaled_cost,
+                attenuated_cost,
+            } => write!(
+                f,
+                "{algo}: lengths*c gave cost {scaled_cost} but attenuation*c \
+                 gave {attenuated_cost}"
+            ),
+            MetamorphicFailure::ScalingLaw {
+                index,
+                expected_cost,
+                actual_cost,
+            } => write!(
+                f,
+                "channel {index}: Eq. 1 predicts scaled cost {expected_cost}, \
+                 recomputation gives {actual_cost}"
+            ),
+            MetamorphicFailure::RelabelingVariance {
+                algo,
+                original_cost,
+                relabeled_cost,
+            } => write!(
+                f,
+                "{algo}: relabeling changed the cost {original_cost} -> \
+                 {relabeled_cost}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetamorphicFailure {}
+
+fn lift(algo: &'static str) -> impl Fn(crate::ConformanceError) -> MetamorphicFailure {
+    move |e| match e {
+        crate::ConformanceError::Audit { violation, .. } => {
+            MetamorphicFailure::Audit { algo, violation }
+        }
+        other => unreachable!("audited_cost only fails with Audit: {other}"),
+    }
+}
+
+/// Returns a copy of `net` where every switch has `extra` additional
+/// qubits, preserving user order and physics.
+pub fn with_bonus_qubits(net: &QuantumNetwork, extra: u32) -> QuantumNetwork {
+    let mut graph = net.graph().clone();
+    for v in net.graph().node_ids() {
+        if let NodeKind::Switch { qubits } = net.kind(v) {
+            *graph.node_mut(v) = NodeKind::Switch {
+                qubits: qubits.saturating_add(extra),
+            };
+        }
+    }
+    QuantumNetwork::from_parts(graph, net.users().to_vec(), *net.physics())
+}
+
+/// Returns a copy of `net` with vertex ids permuted by `perm`
+/// (`perm[old] = new`), preserving the *order* of the user list so
+/// user-order-sensitive algorithms behave identically.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation of `0..node_count`.
+pub fn relabel(net: &QuantumNetwork, perm: &[usize]) -> QuantumNetwork {
+    let g = net.graph();
+    let n = g.node_count();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut inv = vec![usize::MAX; n];
+    for (old, &new) in perm.iter().enumerate() {
+        assert!(new < n && inv[new] == usize::MAX, "not a permutation");
+        inv[new] = old;
+    }
+    let mut out: Graph<NodeKind, f64> = Graph::with_capacity(n, g.edge_count());
+    for &old in &inv {
+        out.add_node(*g.node(NodeId::new(old)));
+    }
+    for e in g.edge_refs() {
+        out.add_edge(
+            NodeId::new(perm[e.a.index()]),
+            NodeId::new(perm[e.b.index()]),
+            *e.payload,
+        );
+    }
+    let users = net
+        .users()
+        .iter()
+        .map(|u| NodeId::new(perm[u.index()]))
+        .collect();
+    QuantumNetwork::from_parts(out, users, *net.physics())
+}
+
+/// Checks that granting every switch `extra` more qubits never lowers
+/// `algo`'s rate on `net`.
+///
+/// # Errors
+///
+/// Returns the violated relation (or an audit failure of either run).
+pub fn check_qubit_monotonicity<A: RoutingAlgorithm>(
+    net: &QuantumNetwork,
+    algo: &A,
+    extra: u32,
+) -> Result<(), MetamorphicFailure> {
+    let name = algo.name();
+    let base_cost = audited_cost(net, algo, name).map_err(lift(name))?;
+    let granted = with_bonus_qubits(net, extra);
+    let granted_cost = audited_cost(&granted, algo, name).map_err(lift(name))?;
+    // rate must not drop ⇔ cost must not rise.
+    if granted_cost > base_cost + RATE_TOLERANCE * base_cost.abs().max(1.0) {
+        return Err(MetamorphicFailure::QubitMonotonicity {
+            algo: name,
+            base_cost,
+            granted_cost,
+        });
+    }
+    Ok(())
+}
+
+/// Relative cost tolerance of the scaling equivalence: the two copies
+/// compute `α·(c·L)` vs `(α·c)·L`, which may differ by one rounding ulp
+/// per factor, amplified through `exp`/`ln` round-trips.
+const EQUIVALENCE_TOLERANCE: f64 = 1e-9;
+
+/// Checks that scaling every fiber length by `factor` is observationally
+/// identical to scaling the attenuation by `factor` for `algo` on `net`.
+///
+/// # Errors
+///
+/// Returns the violated relation (or an audit failure of either run).
+pub fn check_scaling_equivalence<A: RoutingAlgorithm>(
+    net: &QuantumNetwork,
+    algo: &A,
+    factor: f64,
+) -> Result<(), MetamorphicFailure> {
+    let name = algo.name();
+    let scaled = net.with_scaled_lengths(factor);
+    let attenuated = net.with_physics(PhysicsParams {
+        swap_success: net.physics().swap_success,
+        attenuation: net.physics().attenuation * factor,
+    });
+    let scaled_cost = audited_cost(&scaled, algo, name).map_err(lift(name))?;
+    let attenuated_cost = audited_cost(&attenuated, algo, name).map_err(lift(name))?;
+    let both_infeasible = scaled_cost.is_infinite() && attenuated_cost.is_infinite();
+    if !both_infeasible
+        && (scaled_cost - attenuated_cost).abs()
+            > EQUIVALENCE_TOLERANCE * scaled_cost.abs().max(1.0)
+    {
+        return Err(MetamorphicFailure::ScalingEquivalence {
+            algo: name,
+            scaled_cost,
+            attenuated_cost,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a *fixed* BSM tree's per-channel rates transform exactly
+/// per Eq. 1 when every fiber length is scaled by `factor`:
+/// `cost' = factor · (α·ΣL) + (l−1)·(−ln q)`.
+///
+/// # Errors
+///
+/// Returns [`MetamorphicFailure::ScalingLaw`] for the first channel
+/// whose recomputed rate deviates from the prediction.
+pub fn check_scaling_law(
+    net: &QuantumNetwork,
+    solution: &Solution,
+    factor: f64,
+) -> Result<(), MetamorphicFailure> {
+    let scaled = net.with_scaled_lengths(factor);
+    let q = net.physics().swap_success;
+    let alpha = net.physics().attenuation;
+    for (index, channel) in solution.channels.iter().enumerate() {
+        let total_length: f64 = channel.path.edges.iter().map(|&e| net.length(e)).sum();
+        let swap_cost = -(channel.link_count() as f64 - 1.0) * q.ln();
+        let expected_cost = factor * (alpha * total_length) + swap_cost;
+        let actual_cost = Channel::from_path(&scaled, channel.path.clone())
+            .rate
+            .neg_log()
+            .cost();
+        if (expected_cost - actual_cost).abs() > EQUIVALENCE_TOLERANCE * expected_cost.max(1.0) {
+            return Err(MetamorphicFailure::ScalingLaw {
+                index,
+                expected_cost,
+                actual_cost,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that permuting vertex ids (with `perm_seed` choosing the
+/// permutation) leaves `algo`'s rate on `net` invariant.
+///
+/// # Errors
+///
+/// Returns the violated relation (or an audit failure of either run).
+pub fn check_relabeling_invariance<A: RoutingAlgorithm>(
+    net: &QuantumNetwork,
+    algo: &A,
+    perm_seed: u64,
+) -> Result<(), MetamorphicFailure> {
+    let name = algo.name();
+    let mut perm: Vec<usize> = (0..net.graph().node_count()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+    perm.shuffle(&mut rng);
+    let relabeled = relabel(net, &perm);
+    let original_cost = audited_cost(net, algo, name).map_err(lift(name))?;
+    let relabeled_cost = audited_cost(&relabeled, algo, name).map_err(lift(name))?;
+    let both_infeasible = original_cost.is_infinite() && relabeled_cost.is_infinite();
+    if !both_infeasible
+        && (original_cost - relabeled_cost).abs()
+            > EQUIVALENCE_TOLERANCE * original_cost.abs().max(1.0)
+    {
+        return Err(MetamorphicFailure::RelabelingVariance {
+            algo: name,
+            original_cost,
+            relabeled_cost,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muerp_core::algorithms::{BeamSearch, ConflictFree, PrimBased};
+    use muerp_core::model::NetworkSpec;
+
+    fn nets() -> impl Iterator<Item = QuantumNetwork> {
+        (0..4).map(|seed| NetworkSpec::paper_default().with_users(6).build(seed))
+    }
+
+    #[test]
+    fn qubit_monotonicity_holds_for_suite_heuristics() {
+        for net in nets() {
+            for extra in [2, 10] {
+                check_qubit_monotonicity(&net, &ConflictFree::default(), extra).unwrap();
+                check_qubit_monotonicity(&net, &PrimBased::with_seed(1), extra).unwrap();
+                check_qubit_monotonicity(&net, &BeamSearch::default(), extra).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_equivalence_holds_for_suite_heuristics() {
+        for net in nets() {
+            for factor in [0.5, 2.0, 10.0] {
+                check_scaling_equivalence(&net, &ConflictFree::default(), factor).unwrap();
+                check_scaling_equivalence(&net, &PrimBased::with_seed(1), factor).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_law_holds_for_solved_trees() {
+        for net in nets() {
+            let Ok(solution) = PrimBased::with_seed(2).solve(&net) else {
+                continue;
+            };
+            for factor in [0.25, 3.0] {
+                check_scaling_law(&net, &solution, factor).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_invariance_holds_for_suite_heuristics() {
+        for net in nets() {
+            for perm_seed in [11, 12] {
+                check_relabeling_invariance(&net, &ConflictFree::default(), perm_seed).unwrap();
+                check_relabeling_invariance(&net, &PrimBased::with_seed(1), perm_seed).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let net = NetworkSpec::paper_default().build(5);
+        let n = net.graph().node_count();
+        let perm: Vec<usize> = (0..n).map(|i| (i + 7) % n).collect();
+        let relabeled = relabel(&net, &perm);
+        assert_eq!(relabeled.graph().node_count(), n);
+        assert_eq!(relabeled.graph().edge_count(), net.graph().edge_count());
+        assert_eq!(relabeled.user_count(), net.user_count());
+        // User order is preserved through the permutation.
+        for (old, new) in net.users().iter().zip(relabeled.users()) {
+            assert_eq!(perm[old.index()], new.index());
+            assert!(relabeled.is_user(*new));
+        }
+        // Total fiber length is invariant.
+        let total = |q: &QuantumNetwork| -> f64 { q.graph().edge_refs().map(|e| *e.payload).sum() };
+        assert!((total(&net) - total(&relabeled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_bonus_qubits_only_touches_switches() {
+        let net = NetworkSpec::paper_default().build(6);
+        let granted = with_bonus_qubits(&net, 3);
+        assert_eq!(granted.users(), net.users());
+        for s in net.switches() {
+            assert_eq!(granted.kind(s).qubits(), net.kind(s).qubits() + 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutations() {
+        let net = NetworkSpec::paper_default().build(1);
+        let perm = vec![0; net.graph().node_count()];
+        relabel(&net, &perm);
+    }
+}

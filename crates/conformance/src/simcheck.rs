@@ -1,0 +1,161 @@
+//! Analytic-vs-Monte-Carlo agreement: the last line of defense.
+//!
+//! The audit and the oracles all recompute Eq. 1/Eq. 2 *analytically* —
+//! if the formulas themselves were wired up wrong, every layer would
+//! agree and be wrong together. This module executes a solution on the
+//! mechanical physical-layer simulator ([`qnet_sim`]) and requires the
+//! measured slot success frequency to fall inside the Wilson score
+//! interval around the claimed analytic rate.
+
+use muerp_core::model::QuantumNetwork;
+use muerp_core::solver::{Solution, SolutionStyle};
+use qnet_sim::plan::{ChannelSpec, RoutingPlan};
+use qnet_sim::{SimPhysics, Simulator};
+
+/// A Monte-Carlo run that agreed with the analytic rate.
+#[derive(Clone, Copy, Debug)]
+pub struct AgreementReport {
+    /// The claimed analytic Eq. 2 rate.
+    pub analytic: f64,
+    /// Measured success frequency.
+    pub measured: f64,
+    /// Lower end of the Wilson interval at the requested `z`.
+    pub lo: f64,
+    /// Upper end of the Wilson interval at the requested `z`.
+    pub hi: f64,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+/// The Monte-Carlo estimate excluded the analytic rate.
+#[derive(Clone, Copy, Debug)]
+pub struct SimDisagreement {
+    /// The claimed analytic Eq. 2 rate.
+    pub analytic: f64,
+    /// Measured success frequency.
+    pub measured: f64,
+    /// Lower end of the Wilson interval.
+    pub lo: f64,
+    /// Upper end of the Wilson interval.
+    pub hi: f64,
+}
+
+impl std::fmt::Display for SimDisagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "analytic rate {} outside Wilson interval [{}, {}] (measured {})",
+            self.analytic, self.lo, self.hi, self.measured
+        )
+    }
+}
+
+impl std::error::Error for SimDisagreement {}
+
+/// Converts a routing solution into an executable simulation plan
+/// (independent reimplementation of the facade bridge, so the harness
+/// does not share code with what it checks).
+pub fn solution_to_plan(net: &QuantumNetwork, solution: &Solution) -> RoutingPlan {
+    let channels: Vec<ChannelSpec> = solution
+        .channels
+        .iter()
+        .map(|c| {
+            let nodes: Vec<usize> = c.path.nodes.iter().map(|n| n.index()).collect();
+            let lengths: Vec<f64> = c.path.edges.iter().map(|&e| net.length(e)).collect();
+            let is_switch: Vec<bool> = c
+                .path
+                .nodes
+                .iter()
+                .map(|&n| net.kind(n).is_switch())
+                .collect();
+            ChannelSpec::new(nodes, lengths, &is_switch)
+        })
+        .collect();
+    match solution.style {
+        SolutionStyle::BsmTree => RoutingPlan::tree(channels),
+        SolutionStyle::FusionStar { center, .. } => {
+            RoutingPlan::fusion_star(channels, center.index(), net.kind(center).is_switch())
+        }
+    }
+}
+
+/// Executes `solution` for `slots` time slots and checks that the
+/// measured success frequency's Wilson interval (at `z` standard
+/// scores) contains the claimed analytic rate.
+///
+/// # Errors
+///
+/// Returns [`SimDisagreement`] when the interval excludes the claim.
+pub fn monte_carlo_agreement(
+    net: &QuantumNetwork,
+    solution: &Solution,
+    slots: u64,
+    seed: u64,
+    z: f64,
+) -> Result<AgreementReport, SimDisagreement> {
+    let plan = solution_to_plan(net, solution);
+    let physics = SimPhysics {
+        swap_success: net.physics().swap_success,
+        attenuation: net.physics().attenuation,
+        fusion_success: None,
+    };
+    let stats = Simulator::new(plan, physics, seed).run_slots(slots);
+    let estimate = stats.estimate();
+    let interval = estimate.wilson_interval(z);
+    let analytic = solution.rate.value();
+    if interval.contains(analytic) {
+        Ok(AgreementReport {
+            analytic,
+            measured: estimate.point(),
+            lo: interval.lo,
+            hi: interval.hi,
+            slots,
+        })
+    } else {
+        Err(SimDisagreement {
+            analytic,
+            measured: estimate.point(),
+            lo: interval.lo,
+            hi: interval.hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muerp_core::model::NetworkSpec;
+    use muerp_core::prelude::*;
+
+    const SLOTS: u64 = 40_000;
+    const Z: f64 = 4.4; // ~1e-5 two-sided miss probability per check
+
+    #[test]
+    fn tree_solutions_agree_with_the_simulator() {
+        let net = NetworkSpec::paper_default().with_users(5).build(41);
+        let sol = PrimBased::with_seed(41).solve(&net).expect("feasible");
+        let report = monte_carlo_agreement(&net, &sol, SLOTS, 9, Z).expect("agrees");
+        assert!(report.lo <= report.analytic && report.analytic <= report.hi);
+        assert!(report.slots == SLOTS);
+    }
+
+    #[test]
+    fn fusion_solutions_agree_with_the_simulator() {
+        let net = NetworkSpec::paper_default().with_users(4).build(42);
+        let Ok(sol) = NFusion::default().solve(&net) else {
+            return;
+        };
+        monte_carlo_agreement(&net, &sol, SLOTS, 10, Z).expect("agrees");
+    }
+
+    #[test]
+    fn corrupted_rate_is_detected_by_the_simulator() {
+        let net = NetworkSpec::paper_default().with_users(5).build(43);
+        let mut sol = PrimBased::with_seed(43).solve(&net).expect("feasible");
+        // Claim a rate 3x the true one: the Monte-Carlo run must refuse.
+        let claimed = (sol.rate.value() * 3.0).min(0.999);
+        sol.rate = Rate::from_prob(claimed);
+        let err = monte_carlo_agreement(&net, &sol, SLOTS, 11, Z).expect_err("must disagree");
+        assert!(err.to_string().contains("outside Wilson interval"));
+    }
+}

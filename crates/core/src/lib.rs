@@ -30,6 +30,9 @@
 //!   * [`algorithms::PrimBased`] — **Algorithm 4**
 //!   * [`algorithms::baselines::EQCast`] — extended Q-CAST
 //!   * [`algorithms::baselines::NFusion`] — n-fusion star (MP-P style)
+//! * [`audit`] — the independent [`audit::SolutionAudit`]: every MUERP
+//!   invariant re-derived from raw fiber lengths, with named-invariant
+//!   violations (the conformance harness's ground truth).
 //! * [`feasibility`] — the sufficient condition of Theorem 3 and an
 //!   exhaustive optimal oracle for tiny instances (the NP-hardness means
 //!   no general polynomial oracle exists).
@@ -55,6 +58,7 @@
 
 pub mod algorithms;
 pub mod analysis;
+pub mod audit;
 pub mod channel;
 pub mod error;
 pub mod extensions;
@@ -68,6 +72,7 @@ pub mod tree;
 pub mod prelude {
     pub use crate::algorithms::baselines::{EQCast, NFusion};
     pub use crate::algorithms::{ConflictFree, OptimalSufficient, PrimBased};
+    pub use crate::audit::{audit_solution, AuditReport, AuditViolation, SolutionAudit};
     pub use crate::channel::{CapacityMap, Channel};
     pub use crate::error::RoutingError;
     pub use crate::model::{NetworkSpec, NodeKind, PhysicsParams, QuantumNetwork};

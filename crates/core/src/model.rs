@@ -172,6 +172,68 @@ impl QuantumNetwork {
         }
     }
 
+    /// Builds an instance from a role-annotated graph *and* an explicit
+    /// user order. Unlike [`QuantumNetwork::from_graph`], the user list is
+    /// taken verbatim — transforms that must preserve user order (the
+    /// conformance harness's relabeling and scaling oracles, fixture
+    /// loading) rely on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physics` is out of range, `users` has duplicates or
+    /// out-of-range ids, a listed user is not a [`NodeKind::User`] node,
+    /// or a user node is missing from `users`.
+    pub fn from_parts(
+        graph: Graph<NodeKind, f64>,
+        users: Vec<NodeId>,
+        physics: PhysicsParams,
+    ) -> Self {
+        physics.validate();
+        let mut listed = vec![false; graph.node_count()];
+        for &u in &users {
+            assert!(
+                u.index() < graph.node_count(),
+                "user id {u} out of range ({} nodes)",
+                graph.node_count()
+            );
+            assert!(!listed[u.index()], "duplicate user id {u}");
+            assert!(graph.node(u).is_user(), "node {u} is not a user");
+            listed[u.index()] = true;
+        }
+        for v in graph.node_ids() {
+            assert!(
+                !graph.node(v).is_user() || listed[v.index()],
+                "user node {v} missing from the user list"
+            );
+        }
+        QuantumNetwork {
+            graph,
+            users,
+            physics,
+        }
+    }
+
+    /// Returns a copy with every fiber length multiplied by `factor`,
+    /// preserving node roles, user order, and physics. The conformance
+    /// harness's scaling oracle uses this: scaling lengths by `c` must be
+    /// observationally identical to scaling the attenuation `α` by `c`
+    /// (Eq. 1 depends only on the products `α·Lᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not finite and positive.
+    pub fn with_scaled_lengths(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "length scale factor must be finite and positive, got {factor}"
+        );
+        QuantumNetwork {
+            graph: self.graph.map_edges(|e| *e.payload * factor),
+            users: self.users.clone(),
+            physics: self.physics,
+        }
+    }
+
     /// The underlying graph: node payloads are [`NodeKind`], edge payloads
     /// are fiber lengths.
     pub fn graph(&self) -> &Graph<NodeKind, f64> {
@@ -462,6 +524,35 @@ mod tests {
         let b = spec.build_from_spatial(&spatial, 3);
         assert_eq!(a.users(), b.users());
         assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+
+    #[test]
+    fn from_parts_preserves_user_order() {
+        let net = NetworkSpec::paper_default().build(11);
+        let mut users = net.users().to_vec();
+        users.reverse();
+        let rebuilt =
+            QuantumNetwork::from_parts(net.graph().clone(), users.clone(), *net.physics());
+        assert_eq!(rebuilt.users(), &users[..]);
+        assert_eq!(rebuilt.user_count(), net.user_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the user list")]
+    fn from_parts_rejects_incomplete_user_list() {
+        let net = NetworkSpec::paper_default().build(11);
+        let users = net.users()[..5].to_vec();
+        QuantumNetwork::from_parts(net.graph().clone(), users, *net.physics());
+    }
+
+    #[test]
+    fn with_scaled_lengths_scales_every_fiber() {
+        let net = NetworkSpec::paper_default().build(4);
+        let doubled = net.with_scaled_lengths(2.0);
+        assert_eq!(doubled.users(), net.users());
+        for e in net.graph().edge_ids() {
+            assert!((doubled.length(e) - 2.0 * net.length(e)).abs() < 1e-12 * net.length(e));
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Differential proptests: every heuristic against the complete
+//! exhaustive oracle on tiny instances, all outputs audit-clean.
+//!
+//! Unlike `properties.rs` (which hop-bounds the oracle and skips the
+//! cases that bound truncates), these tests give the oracle a *complete*
+//! horizon — `max_links = n − 1` covers every simple path on an
+//! `n`-node graph — so on every generated instance the oracle's verdict
+//! is authoritative: heuristic rate ≤ optimal rate, and "no tree
+//! exists" means no heuristic may find one.
+
+use proptest::prelude::*;
+
+use muerp_core::algorithms::{BeamSearch, ConflictFree, PrimBased, Refined};
+use muerp_core::audit::audit_solution;
+use muerp_core::feasibility::exhaustive_optimal;
+use muerp_core::model::{NodeKind, PhysicsParams, QuantumNetwork};
+use muerp_core::solver::{RoutingAlgorithm, Solution};
+use qnet_graph::{Graph, NodeId};
+
+/// A random ≤ 8-node instance: `users` users, `switches` switches with
+/// small qubit counts, random fibers with lengths in [100, 5000].
+fn arb_small_network() -> impl Strategy<Value = QuantumNetwork> {
+    (2..=4usize, 1..=4usize, 0u32..=2, 0.5f64..=1.0).prop_flat_map(
+        |(users, switches, half_qubits, q)| {
+            let n = users + switches;
+            let edge = (0..n, 0..n, 100.0f64..5000.0);
+            proptest::collection::vec(edge, n..=(3 * n)).prop_map(move |edges| {
+                let mut g: Graph<NodeKind, f64> = Graph::new();
+                for i in 0..n {
+                    if i < users {
+                        g.add_node(NodeKind::User);
+                    } else {
+                        g.add_node(NodeKind::Switch {
+                            qubits: 2 * half_qubits,
+                        });
+                    }
+                }
+                for (a, b, len) in edges {
+                    if a != b {
+                        g.add_edge(NodeId::new(a), NodeId::new(b), len);
+                    }
+                }
+                QuantumNetwork::from_graph(
+                    g,
+                    PhysicsParams {
+                        swap_success: q,
+                        attenuation: 1e-4,
+                    },
+                )
+            })
+        },
+    )
+}
+
+/// The heuristics under differential test, solved on `net`.
+fn heuristic_solutions(net: &QuantumNetwork) -> Vec<(&'static str, Solution)> {
+    let runs = [
+        ("prim", PrimBased::default().solve(net)),
+        ("alg3", ConflictFree::default().solve(net)),
+        ("beam", BeamSearch::default().solve(net)),
+        (
+            "local-search",
+            Refined {
+                inner: PrimBased::default(),
+                options: Default::default(),
+            }
+            .solve(net),
+        ),
+    ];
+    runs.into_iter()
+        .filter_map(|(name, outcome)| outcome.ok().map(|sol| (name, sol)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristics_are_audit_clean_and_oracle_bounded(net in arb_small_network()) {
+        let n = net.graph().node_count();
+        // Complete horizon: every simple path on n nodes has ≤ n−1 links.
+        let oracle = exhaustive_optimal(&net, n - 1);
+        let solutions = heuristic_solutions(&net);
+        match oracle {
+            Some(tree) => {
+                let optimal = Solution::from_tree(tree);
+                prop_assert!(
+                    audit_solution(&net, &optimal).is_ok(),
+                    "oracle output failed the audit: {:?}",
+                    audit_solution(&net, &optimal)
+                );
+                let bound = optimal.rate.value() * (1.0 + 1e-9);
+                for (name, sol) in &solutions {
+                    if let Err(v) = audit_solution(&net, sol) {
+                        prop_assert!(false, "{name} failed the audit: {v}");
+                    }
+                    prop_assert!(
+                        sol.rate.value() <= bound,
+                        "{name} rate {} beat the complete oracle {}",
+                        sol.rate.value(),
+                        optimal.rate.value()
+                    );
+                }
+            }
+            None => {
+                // The complete oracle proved infeasibility: nobody may
+                // produce a tree.
+                for (name, sol) in &solutions {
+                    prop_assert!(
+                        false,
+                        "{name} found a tree (rate {}) on an instance the \
+                         complete oracle proved infeasible",
+                        sol.rate.value()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_and_stays_audit_clean(net in arb_small_network()) {
+        if let Ok(base) = PrimBased::default().solve(&net) {
+            let refined = Refined {
+                inner: PrimBased::default(),
+                options: Default::default(),
+            }
+            .solve(&net)
+            .expect("base solved, refined must too");
+            prop_assert!(audit_solution(&net, &refined).is_ok());
+            prop_assert!(refined.rate.value() >= base.rate.value() * (1.0 - 1e-12));
+        }
+    }
+}

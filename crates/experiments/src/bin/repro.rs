@@ -5,6 +5,7 @@
 //!       [--trials N] [--seed S] [--out DIR]
 //! repro obs-diff <baseline.json> <candidate.json> \
 //!       [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only]
+//! repro fuzz --budget <n> [--seed S] [--out FILE]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -16,11 +17,16 @@
 //!
 //! `obs-diff` compares two such reports and exits non-zero when the
 //! candidate regresses past the thresholds (the CI gate).
+//!
+//! `fuzz` sweeps seeded random topology specs through the conformance
+//! harness (generate → solve → independent audit → differential
+//! checks); on any failure it shrinks the spec to a minimal
+//! counterexample, writes the JSON report to `--out`, and exits 2.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use muerp_experiments::cli::{self, Command, ObsDiffArgs};
+use muerp_experiments::cli::{self, Command, FuzzArgs, ObsDiffArgs};
 use muerp_experiments::{ablations, beyond, convergence, figures};
 use muerp_experiments::{FigureTable, TrialConfig};
 
@@ -93,10 +99,46 @@ fn run_obs_diff(args: &ObsDiffArgs) -> ExitCode {
     }
 }
 
+fn run_fuzz(args: &FuzzArgs) -> ExitCode {
+    let started = std::time::Instant::now();
+    let outcome = qnet_conformance::run_fuzz(args.config());
+    println!(
+        "fuzz: {} trial(s), base seed {}, {} failure(s) ({:.1?})",
+        outcome.trials,
+        args.base_seed,
+        outcome.failures.len(),
+        started.elapsed()
+    );
+    if outcome.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+    for failure in &outcome.failures {
+        println!(
+            "  seed {}: {} (shrunk {} step(s) to {} nodes / {} users / {} qubits)",
+            failure.original.seed,
+            failure.error,
+            failure.shrink_steps,
+            failure.shrunk.spec.topology.nodes,
+            failure.shrunk.spec.users,
+            failure.shrunk.spec.qubits_per_switch,
+        );
+    }
+    let report = serde_json::to_string_pretty(&outcome.to_json()).expect("report is plain JSON");
+    match std::fs::write(&args.out, report) {
+        Ok(()) => println!("wrote {}", args.out.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args = match cli::parse_command(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
         Ok(Command::ObsDiff(d)) => return run_obs_diff(&d),
+        Ok(Command::Fuzz(f)) => return run_fuzz(&f),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;

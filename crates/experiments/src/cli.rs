@@ -42,6 +42,30 @@ pub enum Command {
     /// `repro obs-diff <baseline.json> <candidate.json>`: compare two
     /// observability run reports and fail on regressions.
     ObsDiff(ObsDiffArgs),
+    /// `repro fuzz --budget <n>`: sweep random topology specs through
+    /// generate→solve→audit and report shrunk counterexamples.
+    Fuzz(FuzzArgs),
+}
+
+/// Arguments of the `fuzz` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzArgs {
+    /// Number of seeded trials to run.
+    pub budget: usize,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Where to write the JSON counterexample report on failure.
+    pub out: PathBuf,
+}
+
+impl FuzzArgs {
+    /// The fuzz configuration these arguments select.
+    pub fn config(&self) -> qnet_conformance::FuzzConfig {
+        qnet_conformance::FuzzConfig {
+            budget: self.budget,
+            base_seed: self.base_seed,
+        }
+    }
 }
 
 /// Arguments of the `obs-diff` subcommand.
@@ -89,7 +113,49 @@ where
         argv.next();
         return parse_obs_diff(argv).map(Command::ObsDiff);
     }
+    if argv.peek().map(String::as_str) == Some("fuzz") {
+        argv.next();
+        return parse_fuzz(argv).map(Command::Fuzz);
+    }
     parse(argv).map(Command::Run)
+}
+
+fn parse_fuzz<I>(argv: I) -> Result<FuzzArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut budget: Option<usize> = None;
+    let mut base_seed = 0u64;
+    let mut out = PathBuf::from("fuzz-counterexample.json");
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = argv.next().ok_or("--budget needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
+                if n == 0 {
+                    return Err("--budget must be positive".into());
+                }
+                budget = Some(n);
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                base_seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a file path")?;
+                out = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown fuzz argument: {other}")),
+        }
+    }
+    let budget =
+        budget.ok_or("usage: repro fuzz --budget <n> [--seed S] [--out FILE]".to_string())?;
+    Ok(FuzzArgs {
+        budget,
+        base_seed,
+        out,
+    })
 }
 
 fn parse_obs_diff<I>(argv: I) -> Result<ObsDiffArgs, String>
@@ -325,6 +391,51 @@ mod tests {
         assert_eq!(d.min_span_us, 500);
         assert!(d.warn_only);
         assert_eq!(d.options().span_ratio, 3.5);
+    }
+
+    #[test]
+    fn fuzz_parses_budget_seed_and_out() {
+        let c = parse_command(s(&["fuzz", "--budget", "500"])).unwrap();
+        let Command::Fuzz(f) = c else {
+            panic!("expected Fuzz, got {c:?}");
+        };
+        assert_eq!(f.budget, 500);
+        assert_eq!(f.base_seed, 0);
+        assert_eq!(f.out, PathBuf::from("fuzz-counterexample.json"));
+        assert_eq!(f.config().budget, 500);
+
+        let c = parse_command(s(&[
+            "fuzz",
+            "--seed",
+            "7",
+            "--budget",
+            "20",
+            "--out",
+            "/tmp/ce.json",
+        ]))
+        .unwrap();
+        let Command::Fuzz(f) = c else {
+            panic!("expected Fuzz, got {c:?}");
+        };
+        assert_eq!(f.base_seed, 7);
+        assert_eq!(f.budget, 20);
+        assert_eq!(f.out, PathBuf::from("/tmp/ce.json"));
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_invocations() {
+        assert!(parse_command(s(&["fuzz"]))
+            .unwrap_err()
+            .contains("usage: repro fuzz"));
+        assert!(parse_command(s(&["fuzz", "--budget", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["fuzz", "--budget"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_command(s(&["fuzz", "--budget", "5", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown fuzz argument"));
     }
 
     #[test]

@@ -1,6 +1,28 @@
 //! The five-algorithm suite every figure sweeps.
 
+use muerp_core::error::RoutingError;
 use muerp_core::prelude::*;
+
+/// `true` when every trial's solution should additionally pass the
+/// independent conformance audit ([`muerp_core::audit`]): debug builds
+/// by default, overridable either way with `MUERP_AUDIT=1` / `0`.
+fn audit_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("MUERP_AUDIT") {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "off" | "false"),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// Runs the independent audit when enabled; an invalid solution is a
+/// bug, so this panics rather than skewing results.
+fn audit_gate(net: &QuantumNetwork, solution: &Solution, name: &str) {
+    if audit_enabled() {
+        if let Err(violation) = audit_solution(net, solution) {
+            panic!("{name} failed the conformance audit: {violation}");
+        }
+    }
+}
 
 /// The algorithms compared in every panel of §V, in the paper's legend
 /// order.
@@ -52,37 +74,26 @@ impl AlgoKind {
     ///
     /// Panics if an algorithm emits a structurally invalid solution.
     pub fn rate_on(self, net: &QuantumNetwork, trial_seed: u64) -> f64 {
-        let outcome = match self {
+        let granted;
+        let (target, outcome): (&QuantumNetwork, Result<Solution, RoutingError>) = match self {
             AlgoKind::Alg2 => {
-                let granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
-                OptimalSufficient.solve(&granted).map(|sol| {
-                    validate_solution(&granted, &sol)
-                        .unwrap_or_else(|e| panic!("Alg-2 invalid solution: {e}"));
-                    sol.rate
-                })
+                granted = net.with_uniform_switch_qubits(2 * net.user_count() as u32);
+                (&granted, OptimalSufficient.solve(&granted))
             }
-            AlgoKind::Alg3 => ConflictFree::default().solve(net).map(|sol| {
-                validate_solution(net, &sol)
-                    .unwrap_or_else(|e| panic!("Alg-3 invalid solution: {e}"));
-                sol.rate
-            }),
-            AlgoKind::Alg4 => PrimBased::with_seed(trial_seed).solve(net).map(|sol| {
-                validate_solution(net, &sol)
-                    .unwrap_or_else(|e| panic!("Alg-4 invalid solution: {e}"));
-                sol.rate
-            }),
-            AlgoKind::NFusion => NFusion::default().solve(net).map(|sol| {
-                validate_solution(net, &sol)
-                    .unwrap_or_else(|e| panic!("N-Fusion invalid solution: {e}"));
-                sol.rate
-            }),
-            AlgoKind::EQCast => EQCast.solve(net).map(|sol| {
-                validate_solution(net, &sol)
-                    .unwrap_or_else(|e| panic!("E-Q-CAST invalid solution: {e}"));
-                sol.rate
-            }),
+            AlgoKind::Alg3 => (net, ConflictFree::default().solve(net)),
+            AlgoKind::Alg4 => (net, PrimBased::with_seed(trial_seed).solve(net)),
+            AlgoKind::NFusion => (net, NFusion::default().solve(net)),
+            AlgoKind::EQCast => (net, EQCast.solve(net)),
         };
-        outcome.map_or(0.0, |r| r.value())
+        match outcome {
+            Ok(sol) => {
+                validate_solution(target, &sol)
+                    .unwrap_or_else(|e| panic!("{} invalid solution: {e}", self.name()));
+                audit_gate(target, &sol, self.name());
+                sol.rate.value()
+            }
+            Err(_) => 0.0,
+        }
     }
 }
 

@@ -78,6 +78,37 @@ impl TopologySpec {
         }
     }
 
+    /// Candidate strictly smaller specs for counterexample shrinking,
+    /// ordered most aggressive first (halve the node count, then step it
+    /// down, then lower the average degree).
+    ///
+    /// Every candidate stays generator-valid: at least `min_nodes` nodes,
+    /// average degree at least 2 and — because Watts–Strogatz requires an
+    /// even integer degree — reduced in steps of 2 from an even starting
+    /// point. Returns an empty vector when the spec is already minimal.
+    pub fn shrink_candidates(&self, min_nodes: usize) -> Vec<TopologySpec> {
+        let min_nodes = min_nodes.max(4);
+        let mut out = Vec::new();
+        let mut push_nodes = |nodes: usize| {
+            if nodes < self.nodes && nodes >= min_nodes {
+                out.push(TopologySpec { nodes, ..*self });
+            }
+        };
+        push_nodes(self.nodes / 2);
+        push_nodes(self.nodes.saturating_sub(4));
+        push_nodes(self.nodes.saturating_sub(1));
+        // Lower the wiring density: fewer edges often preserves a failure
+        // while making the counterexample easier to read.
+        let degree = self.avg_degree - 2.0;
+        if degree >= 2.0 && (degree as usize) < self.nodes {
+            out.push(TopologySpec {
+                avg_degree: degree,
+                ..*self
+            });
+        }
+        out
+    }
+
     /// Generates a connected network from this spec, deterministically for
     /// a given `seed`.
     ///
@@ -165,5 +196,39 @@ mod tests {
         fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
         assert_serde::<TopologySpec>();
         assert_serde::<TopologyKind>();
+    }
+
+    #[test]
+    fn shrink_candidates_are_smaller_and_generator_valid() {
+        for kind in TopologyKind::ALL {
+            let spec = TopologySpec {
+                kind,
+                ..TopologySpec::paper_default()
+            };
+            let candidates = spec.shrink_candidates(8);
+            assert!(!candidates.is_empty(), "{kind}: paper default must shrink");
+            for c in &candidates {
+                assert!(
+                    c.nodes < spec.nodes || c.avg_degree < spec.avg_degree,
+                    "{kind}: candidate {c:?} is not smaller"
+                );
+                assert!(c.nodes >= 8);
+                assert!(c.avg_degree >= 2.0);
+                // Every candidate must actually generate.
+                let g = c.generate(99);
+                assert_eq!(g.node_count(), c.nodes, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_stops_at_the_floor() {
+        let spec = TopologySpec {
+            kind: TopologyKind::Waxman,
+            nodes: 8,
+            avg_degree: 2.0,
+            area: 10_000.0,
+        };
+        assert!(spec.shrink_candidates(8).is_empty());
     }
 }

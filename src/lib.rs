@@ -10,6 +10,8 @@
 //! * [`experiments`] — figure-reproduction harness ([`muerp_experiments`])
 //! * [`obs`] — spans, counters, and run reports behind `MUERP_OBS`
 //!   ([`qnet_obs`])
+//! * [`conformance`] — independent solution audit, differential and
+//!   metamorphic oracles, seeded fuzz driver ([`qnet_conformance`])
 //!
 //! # Quickstart
 //!
@@ -28,6 +30,7 @@
 
 pub use muerp_core as core;
 pub use muerp_experiments as experiments;
+pub use qnet_conformance as conformance;
 pub use qnet_graph as graph;
 pub use qnet_obs as obs;
 pub use qnet_sim as sim;

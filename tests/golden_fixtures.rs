@@ -1,0 +1,146 @@
+//! Golden fixtures: known-good solved networks pinned as JSON under
+//! `tests/fixtures/`, checked byte-for-byte against the deterministic
+//! generator and re-audited on every run.
+//!
+//! Regenerate after an intentional format or algorithm change with:
+//!
+//! ```text
+//! MUERP_REGEN_FIXTURES=1 cargo test --test golden_fixtures
+//! ```
+
+use std::path::PathBuf;
+
+use muerp::conformance::Fixture;
+use muerp::core::algorithms::BeamSearch;
+use muerp::core::audit::audit_solution;
+use muerp::core::prelude::*;
+use muerp::core::rate::Rate;
+use muerp::topology::TopologyKind;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The deterministic fixture set. Small networks keep the committed JSON
+/// reviewable; seeds and shapes are pinned forever.
+fn fixture_sources() -> Vec<Fixture> {
+    let cases = [
+        ("waxman-16", TopologyKind::Waxman, 16, 4, 42),
+        ("watts-strogatz-14", TopologyKind::WattsStrogatz, 14, 4, 7),
+        ("volchenkov-18", TopologyKind::Volchenkov, 18, 5, 11),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, kind, nodes, users, seed)| {
+            let mut spec = NetworkSpec::paper_default().with_users(users);
+            spec.topology.kind = kind;
+            spec.topology.nodes = nodes;
+            let net = spec.build(seed);
+            let mut solutions = Vec::new();
+            for (algo, outcome) in [
+                ("Alg-3", ConflictFree::default().solve(&net)),
+                ("Alg-4", PrimBased::with_seed(seed).solve(&net)),
+                ("Beam", BeamSearch::default().solve(&net)),
+                ("N-Fusion", NFusion::default().solve(&net)),
+                ("E-Q-CAST", EQCast.solve(&net)),
+            ] {
+                if let Ok(sol) = outcome {
+                    solutions.push((algo.to_string(), sol));
+                }
+            }
+            Fixture {
+                name: name.to_string(),
+                net,
+                solutions,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn golden_fixtures_match_generator_and_audit_clean() {
+    let regen = std::env::var_os("MUERP_REGEN_FIXTURES").is_some();
+    for fixture in fixture_sources() {
+        assert!(
+            !fixture.solutions.is_empty(),
+            "{}: no algorithm solved the fixture network",
+            fixture.name
+        );
+        let path = fixture_dir().join(format!("{}.json", fixture.name));
+        let expected = fixture.to_json_string();
+        if regen {
+            std::fs::write(&path, &expected)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            continue;
+        }
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {} ({e}); regenerate with MUERP_REGEN_FIXTURES=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk, expected,
+            "{}: committed fixture drifted from the generator; \
+             regenerate with MUERP_REGEN_FIXTURES=1 if intentional",
+            fixture.name
+        );
+        let loaded =
+            Fixture::from_json_str(&on_disk).unwrap_or_else(|e| panic!("{}: {e}", fixture.name));
+        assert!(!loaded.solutions.is_empty(), "{}: empty", loaded.name);
+        for (algo, sol) in &loaded.solutions {
+            audit_solution(&loaded.net, sol)
+                .unwrap_or_else(|v| panic!("{} / {algo} failed the audit: {v}", loaded.name));
+        }
+    }
+}
+
+#[test]
+fn corrupted_fixtures_are_rejected_with_named_invariants() {
+    let fixture = &fixture_sources()[0];
+    let text = fixture.to_json_string();
+
+    // Inflated claimed solution rate → a rate invariant by name.
+    let tampered = text.replace("\"rate\":", "\"rate\": 0.999999,\"claimed\":");
+    let loaded = Fixture::from_json_str(&tampered).expect("still parses");
+    let (_, sol) = &loaded.solutions[0];
+    let violation = audit_solution(&loaded.net, sol).expect_err("tampered rate must fail");
+    assert!(
+        violation.invariant().starts_with("rate-"),
+        "expected a rate invariant, got [{}]",
+        violation.invariant()
+    );
+
+    // In-memory corruption of the tree rate alone → Eq. 2 recomputation.
+    let mut sol = fixture.solutions[0].1.clone();
+    sol.rate = Rate::from_prob((sol.rate.value() * 3.0).min(1.0));
+    let violation = audit_solution(&fixture.net, &sol).expect_err("inflated Eq. 2 must fail");
+    assert_eq!(violation.invariant(), "rate-eq2", "got {violation}");
+
+    // Duplicated channel → the same user pair served twice.
+    let mut sol = fixture.solutions[0].1.clone();
+    if sol.style == muerp::core::solver::SolutionStyle::BsmTree && !sol.channels.is_empty() {
+        sol.channels.push(sol.channels[0].clone());
+        let violation = audit_solution(&fixture.net, &sol).expect_err("duplicate channel");
+        assert!(
+            matches!(
+                violation.invariant(),
+                "duplicate-user-pair" | "tree-acyclicity" | "switch-capacity" | "user-coverage"
+            ),
+            "got [{}]",
+            violation.invariant()
+        );
+    }
+
+    // Dropped channel → some user pair left uncovered.
+    let mut sol = fixture.solutions[0].1.clone();
+    if sol.style == muerp::core::solver::SolutionStyle::BsmTree && sol.channels.len() > 1 {
+        sol.channels.pop();
+        let violation = audit_solution(&fixture.net, &sol).expect_err("dropped channel");
+        assert!(
+            matches!(violation.invariant(), "user-coverage" | "rate-eq2"),
+            "got [{}]",
+            violation.invariant()
+        );
+    }
+}
