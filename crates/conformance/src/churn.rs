@@ -1,0 +1,298 @@
+//! Churn conformance: one seeded failure per trial, pushed through the
+//! survivability repair ladder and checked against every oracle we have.
+//!
+//! For a solved instance, [`churn_check`] injects a single
+//! deterministic fault ([`derive_failure`]), runs
+//! [`muerp_core::survive::repair`], and verifies:
+//!
+//! 1. **Audit-clean** — a repaired solution passes the full independent
+//!    invariant audit against the *original* network (repair never
+//!    invents fibers or capacity).
+//! 2. **Degraded-valid** — the degraded network can actually carry the
+//!    repaired tree: no channel crosses a dead element and per-switch
+//!    qubit demand fits the surviving memory.
+//! 3. **Do-nothing bound** — when the failure leaves the original
+//!    solution intact, repair must not lose rate.
+//! 4. **Oracle envelope** — on brute-forceable instances the repaired
+//!    rate may not beat the exhaustive optimum of the materialized
+//!    degraded network; and if that complete search proves the degraded
+//!    instance infeasible, repair must not claim success.
+//! 5. **Determinism** — repairing twice yields the same method and
+//!    bit-identical rate.
+
+use muerp_core::audit::{audit_solution, RATE_TOLERANCE};
+use muerp_core::feasibility::exhaustive_optimal;
+use muerp_core::prelude::*;
+use qnet_graph::{EdgeId, NodeId};
+use serde_json::{Map, Value};
+
+use crate::differential::ConformanceError;
+use crate::fixture::FixtureError;
+
+/// Largest instance the degraded-network oracle will brute-force
+/// (matches the differential oracle's limits).
+const ORACLE_MAX_USERS: usize = 6;
+const ORACLE_MAX_NODES: usize = 10;
+
+/// What [`churn_check`] measured on one instance.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// The injected failure.
+    pub failure: Failure,
+    /// How the ladder resolved it.
+    pub method: RepairMethod,
+    /// Channel-finder searches the repair spent.
+    pub searches: u64,
+    /// Negative-log rate of the repaired solution (`+∞` if the ladder
+    /// gave up, or the base instance was infeasible to begin with).
+    pub repaired_cost: f64,
+}
+
+/// Draws the trial's single failure, deterministically from `seed`.
+///
+/// Delegates to [`FailurePlan::random`] with a one-failure budget so the
+/// fault distribution (link cut / switch death / capacity loss) matches
+/// the multi-failure churn experiments.
+pub fn derive_failure(net: &QuantumNetwork, seed: u64) -> Failure {
+    let plan = FailurePlan::random(net, 1, 1, seed);
+    plan.failures
+        .first()
+        .copied()
+        .expect("a routable network has at least one fiber to fail")
+}
+
+fn cost_tol(cost: f64) -> f64 {
+    RATE_TOLERANCE * cost.abs().max(1.0)
+}
+
+/// Runs the single-failure churn check described in the module docs.
+///
+/// # Errors
+///
+/// Returns the first [`ConformanceError`] found: an audit violation of
+/// the repaired solution, or a [`ConformanceError::RepairUnsound`] for
+/// degraded-validity, bound, or determinism failures.
+pub fn churn_check(net: &QuantumNetwork, seed: u64) -> Result<ChurnReport, ConformanceError> {
+    let failure = derive_failure(net, seed);
+    let base = match PrimBased::with_seed(seed).solve(net) {
+        Ok(solution) => solution,
+        // Nothing to repair on an infeasible base instance.
+        Err(_) => {
+            return Ok(ChurnReport {
+                failure,
+                method: RepairMethod::Unrepairable,
+                searches: 0,
+                repaired_cost: f64::INFINITY,
+            })
+        }
+    };
+
+    let mut state = NetworkState::new(net);
+    state.apply(&failure.kind);
+
+    let outcome = repair(net, &base, &state);
+    let rerun = repair(net, &base, &state);
+    if rerun.method != outcome.method
+        || rerun.rate_value().to_bits() != outcome.rate_value().to_bits()
+    {
+        return Err(ConformanceError::RepairUnsound {
+            detail: format!(
+                "non-deterministic repair: {} (rate {}) vs {} (rate {})",
+                outcome.method.name(),
+                outcome.rate_value(),
+                rerun.method.name(),
+                rerun.rate_value(),
+            ),
+        });
+    }
+
+    let oracle = oracle_cost(&state);
+    let repaired_cost = match &outcome.solution {
+        Some(fixed) => {
+            audit_solution(net, fixed).map_err(|violation| ConformanceError::Audit {
+                algo: "repair",
+                violation,
+            })?;
+            if !state.admits_solution(fixed) {
+                return Err(ConformanceError::RepairUnsound {
+                    detail: format!(
+                        "{}: repaired solution does not fit the degraded network",
+                        outcome.method.name()
+                    ),
+                });
+            }
+            let cost = fixed.rate.neg_log().cost();
+            if state.admits_solution(&base) {
+                let base_cost = base.rate.neg_log().cost();
+                if cost > base_cost + cost_tol(base_cost) {
+                    return Err(ConformanceError::RepairUnsound {
+                        detail: format!(
+                            "{}: repair lost rate (cost {cost}) although doing \
+                             nothing keeps {base_cost}",
+                            outcome.method.name()
+                        ),
+                    });
+                }
+            }
+            match oracle {
+                Some(optimal) if cost < optimal - cost_tol(optimal) => {
+                    return Err(ConformanceError::RepairUnsound {
+                        detail: format!(
+                            "{}: repaired cost {cost} beats the exhaustive degraded \
+                             optimum {optimal}",
+                            outcome.method.name()
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            cost
+        }
+        None => f64::INFINITY,
+    };
+
+    Ok(ChurnReport {
+        failure,
+        method: outcome.method,
+        searches: outcome.searches,
+        repaired_cost,
+    })
+}
+
+/// Serializes a failure for golden churn fixtures:
+/// `{"kind": "link-cut", "edge": 3, "at_slot": 0}` /
+/// `{"kind": "switch-death", "node": 7, ...}` /
+/// `{"kind": "capacity-loss", "node": 7, "qubits": 2, ...}`.
+pub fn failure_to_json(failure: &Failure) -> Value {
+    let mut out = Map::new();
+    out.insert("kind".into(), Value::from(failure.kind.name()));
+    match failure.kind {
+        FailureKind::LinkCut { edge } => {
+            out.insert("edge".into(), Value::from(edge.index()));
+        }
+        FailureKind::SwitchDeath { node } => {
+            out.insert("node".into(), Value::from(node.index()));
+        }
+        FailureKind::CapacityLoss { node, qubits } => {
+            out.insert("node".into(), Value::from(node.index()));
+            out.insert("qubits".into(), Value::from(qubits));
+        }
+    }
+    out.insert("at_slot".into(), Value::from(failure.at_slot));
+    Value::Object(out)
+}
+
+fn id_field(value: &Value, key: &str, limit: usize) -> Result<usize, FixtureError> {
+    let raw = value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| FixtureError(format!("failure field `{key}` is not an index")))?;
+    usize::try_from(raw)
+        .ok()
+        .filter(|&i| i < limit)
+        .ok_or_else(|| FixtureError(format!("failure `{key}` {raw} out of range ({limit})")))
+}
+
+/// Parses a failure from the golden-fixture schema of
+/// [`failure_to_json`], validating ids against `net`.
+///
+/// # Errors
+///
+/// Returns a [`FixtureError`] naming the first malformed field.
+pub fn failure_from_json(net: &QuantumNetwork, value: &Value) -> Result<Failure, FixtureError> {
+    let kind = match value.get("kind").and_then(Value::as_str) {
+        Some("link-cut") => FailureKind::LinkCut {
+            edge: EdgeId::new(id_field(value, "edge", net.graph().edge_count())?),
+        },
+        Some("switch-death") => FailureKind::SwitchDeath {
+            node: NodeId::new(id_field(value, "node", net.graph().node_count())?),
+        },
+        Some("capacity-loss") => FailureKind::CapacityLoss {
+            node: NodeId::new(id_field(value, "node", net.graph().node_count())?),
+            qubits: value
+                .get("qubits")
+                .and_then(Value::as_u64)
+                .and_then(|q| u32::try_from(q).ok())
+                .ok_or_else(|| FixtureError("failure field `qubits` is not a count".into()))?,
+        },
+        Some(other) => return Err(FixtureError(format!("unknown failure kind `{other}`"))),
+        None => return Err(FixtureError("missing failure field `kind`".into())),
+    };
+    let at_slot = value
+        .get("at_slot")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| FixtureError("failure field `at_slot` is not a slot".into()))?;
+    Ok(Failure { kind, at_slot })
+}
+
+/// Negative-log rate of the exhaustive optimum on the materialized
+/// degraded network, when small enough to brute-force. `Some(+∞)` means
+/// the complete search proved the degraded instance infeasible.
+fn oracle_cost(state: &NetworkState<'_>) -> Option<f64> {
+    let degraded = state.materialize();
+    let n = degraded.graph().node_count();
+    if degraded.user_count() > ORACLE_MAX_USERS || n > ORACLE_MAX_NODES {
+        return None;
+    }
+    match exhaustive_optimal(&degraded, n.saturating_sub(1)) {
+        Some(tree) => Some(Solution::from_tree(tree).rate.neg_log().cost()),
+        None => Some(f64::INFINITY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muerp_core::model::NetworkSpec;
+
+    #[test]
+    fn derived_failure_is_deterministic() {
+        let net = NetworkSpec::paper_default().build(11);
+        assert_eq!(derive_failure(&net, 42), derive_failure(&net, 42));
+    }
+
+    #[test]
+    fn churn_check_is_clean_on_the_paper_family() {
+        for seed in 0..8 {
+            let net = NetworkSpec::paper_default().build(seed);
+            let report = churn_check(&net, seed).expect("churn check must pass");
+            assert!(
+                report.searches > 0 || report.method == RepairMethod::Untouched,
+                "a non-trivial repair must have searched"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_json_roundtrips_and_rejects_garbage() {
+        let net = NetworkSpec::paper_default().build(3);
+        for seed in 0..12 {
+            let failure = derive_failure(&net, seed);
+            let json = failure_to_json(&failure);
+            let back = failure_from_json(&net, &json).expect("roundtrip");
+            assert_eq!(back, failure);
+        }
+        let bad: Value =
+            serde_json::from_str(r#"{"kind": "meteor-strike", "at_slot": 0}"#).unwrap();
+        let e = failure_from_json(&net, &bad).unwrap_err();
+        assert!(e.to_string().contains("meteor-strike"), "{e}");
+        let out_of_range: Value =
+            serde_json::from_str(r#"{"kind": "link-cut", "edge": 1000000, "at_slot": 0}"#).unwrap();
+        assert!(failure_from_json(&net, &out_of_range).is_err());
+    }
+
+    #[test]
+    fn churn_check_is_clean_on_small_oracle_instances() {
+        // Small enough that the degraded-network oracle actually runs.
+        let spec = NetworkSpec {
+            users: 3,
+            ..NetworkSpec::paper_default()
+        };
+        let mut spec = spec;
+        spec.topology.nodes = 10;
+        for seed in 0..6 {
+            let net = spec.build(seed);
+            churn_check(&net, seed).expect("oracle-bounded churn check must pass");
+        }
+    }
+}

@@ -89,6 +89,14 @@ pub enum ConformanceError {
         /// The panic message.
         message: String,
     },
+    /// The survivability repair ladder produced an unsound result: a
+    /// repaired solution the degraded network cannot carry, a rate
+    /// outside the do-nothing/oracle envelope, or a non-deterministic
+    /// repair.
+    RepairUnsound {
+        /// Human-readable description of the violated property.
+        detail: String,
+    },
     /// Two identically configured runs disagreed.
     NonDeterministic {
         /// Offending algorithm.
@@ -131,6 +139,9 @@ impl std::fmt::Display for ConformanceError {
                  {stronger_cost}), which dominates it by construction"
             ),
             ConformanceError::Panicked { message } => write!(f, "panicked: {message}"),
+            ConformanceError::RepairUnsound { detail } => {
+                write!(f, "repair: unsound result: {detail}")
+            }
             ConformanceError::NonDeterministic {
                 algo,
                 first_cost,

@@ -22,6 +22,7 @@ use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 use serde_json::{Map, Value};
 
+use crate::churn::churn_check;
 use crate::differential::{differential_check, ConformanceError};
 
 /// Configuration of a fuzz run.
@@ -31,6 +32,10 @@ pub struct FuzzConfig {
     pub budget: usize,
     /// Base seed; trial `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Also run the churn oracle per trial: inject one seeded failure,
+    /// repair it, and check the repair invariants (`repro fuzz
+    /// --churn`).
+    pub churn: bool,
 }
 
 impl Default for FuzzConfig {
@@ -38,6 +43,7 @@ impl Default for FuzzConfig {
         FuzzConfig {
             budget: 100,
             base_seed: 0,
+            churn: false,
         }
     }
 }
@@ -49,17 +55,25 @@ pub struct FuzzCase {
     pub spec: NetworkSpec,
     /// Seed for both topology generation and the randomized algorithms.
     pub seed: u64,
+    /// `true` when the trial also exercises failure injection + repair.
+    pub churn: bool,
 }
 
 impl FuzzCase {
-    /// Runs the conformance check this driver fuzzes.
+    /// Runs the conformance check this driver fuzzes: the differential
+    /// oracle, plus the churn oracle when [`FuzzCase::churn`] is set.
     ///
     /// # Errors
     ///
-    /// Returns the first [`ConformanceError`] the differential oracle
-    /// finds on the generated instance.
+    /// Returns the first [`ConformanceError`] found on the generated
+    /// instance.
     pub fn check(&self) -> Result<(), ConformanceError> {
-        differential_check(&self.spec.build(self.seed), self.seed).map(|_| ())
+        let net = self.spec.build(self.seed);
+        differential_check(&net, self.seed)?;
+        if self.churn {
+            churn_check(&net, self.seed)?;
+        }
+        Ok(())
     }
 
     /// Serializes the case for counterexample reports.
@@ -81,6 +95,7 @@ impl FuzzCase {
             "qubits_per_switch".into(),
             Value::from(self.spec.qubits_per_switch),
         );
+        out.insert("churn".into(), Value::from(self.churn));
         Value::Object(out)
     }
 }
@@ -180,6 +195,7 @@ pub fn derive_case(base_seed: u64, trial: u64) -> FuzzCase {
             physics: PhysicsParams::paper_default(),
         },
         seed,
+        churn: false,
     }
 }
 
@@ -225,6 +241,7 @@ pub fn shrink_failure(
             let candidate = FuzzCase {
                 spec: candidate_spec,
                 seed: current.seed,
+                churn: current.churn,
             };
             if let Err(e) = run_case(candidate) {
                 current = candidate;
@@ -266,7 +283,8 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzOutcome {
     std::panic::set_hook(Box::new(|_| {}));
     let mut outcome = FuzzOutcome::default();
     for trial in 0..config.budget {
-        let case = derive_case(config.base_seed, trial as u64);
+        let mut case = derive_case(config.base_seed, trial as u64);
+        case.churn = config.churn;
         outcome.trials += 1;
         if let Err(error) = run_case(case) {
             let (shrunk, error, shrink_steps) = shrink_failure(case, error);
@@ -307,11 +325,27 @@ mod tests {
         let outcome = run_fuzz(FuzzConfig {
             budget: 12,
             base_seed: 2024,
+            churn: false,
         });
         assert_eq!(outcome.trials, 12);
         assert!(
             outcome.is_clean(),
             "unexpected failures: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn small_churn_budget_run_is_clean() {
+        let outcome = run_fuzz(FuzzConfig {
+            budget: 6,
+            base_seed: 2025,
+            churn: true,
+        });
+        assert_eq!(outcome.trials, 6);
+        assert!(
+            outcome.is_clean(),
+            "unexpected churn failures: {:?}",
             outcome.failures
         );
     }
@@ -335,6 +369,7 @@ mod tests {
         let outcome = run_fuzz(FuzzConfig {
             budget: 2,
             base_seed: 5,
+            churn: false,
         });
         let json = outcome.to_json();
         assert_eq!(json.get("trials").and_then(Value::as_u64), Some(2));
@@ -348,6 +383,7 @@ mod tests {
             "area",
             "users",
             "qubits_per_switch",
+            "churn",
         ] {
             assert!(case_json.get(key).is_some(), "missing {key}");
         }

@@ -5,6 +5,10 @@
 //! that obeys Eq. 1/Eq. 2. This crate makes that assumption checkable,
 //! continuously, against every algorithm in the suite:
 //!
+//! * [`churn`] — the survivability oracle: one seeded failure per
+//!   trial pushed through the repair ladder, checked audit-clean,
+//!   degraded-valid, rate-bounded (do-nothing ≤ repair ≤ exhaustive
+//!   degraded optimum), and deterministic.
 //! * [`differential`] — runs the five suite algorithms plus the
 //!   extension solvers, audits every solution with the independent
 //!   [`muerp_core::audit::SolutionAudit`], and compares heuristics
@@ -31,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod differential;
 pub mod fixture;
 pub mod fuzz;
 pub mod metamorphic;
 pub mod simcheck;
 
+pub use churn::{churn_check, derive_failure, failure_from_json, failure_to_json, ChurnReport};
 pub use differential::{differential_check, run_suite, ConformanceError, DifferentialReport};
 pub use fixture::{Fixture, FixtureError};
 pub use fuzz::{run_fuzz, shrink_spec, FuzzConfig, FuzzFailure, FuzzOutcome};

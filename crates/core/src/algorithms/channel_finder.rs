@@ -13,7 +13,7 @@
 use std::cell::Cell;
 
 use qnet_graph::paths::{dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraWorkspace};
-use qnet_graph::{EdgeRef, NodeId};
+use qnet_graph::{EdgeRef, NodeId, SearchMask};
 
 use crate::channel::{CapacityMap, Channel};
 use crate::model::QuantumNetwork;
@@ -24,12 +24,15 @@ use crate::model::QuantumNetwork;
 ///
 /// This is the one place the `α·L − ln q` cost and the capacity-aware
 /// relay filter are defined; [`ChannelFinder`] and
-/// [`ChannelFinderCache`] both route through it.
+/// [`ChannelFinderCache`] both route through it. A failure `mask`
+/// excludes dead edges and vertices (survivability repair); `None`
+/// searches the intact network.
 fn run_algorithm1<'w>(
     ws: &'w mut DijkstraWorkspace,
     net: &QuantumNetwork,
     capacity: &CapacityMap,
     source: NodeId,
+    mask: Option<&SearchMask>,
 ) -> qnet_graph::DijkstraView<'w> {
     let q = net.physics().swap_success;
     let alpha = net.physics().attenuation;
@@ -45,8 +48,16 @@ fn run_algorithm1<'w>(
     // of paying an atomic per rejection inside the search.
     let rejected_full = Cell::new(0u64);
     let cfg = DijkstraConfig {
-        edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
+        edge_cost: move |e: EdgeRef<'_, f64>| {
+            if mask.is_some_and(|m| m.blocks(e.id, e.a, e.b)) {
+                return f64::INFINITY;
+            }
+            alpha * *e.payload + neg_ln_q
+        },
         can_relay: |v: NodeId| {
+            if mask.is_some_and(|m| m.node_dead(v)) {
+                return false;
+            }
             if !(swaps_possible && net.kind(v).is_switch()) {
                 return false;
             }
@@ -112,7 +123,20 @@ impl<'n> ChannelFinder<'n> {
         capacity: &CapacityMap,
         source: NodeId,
     ) -> Self {
-        let run = run_algorithm1(ws, net, capacity, source).to_run();
+        Self::from_source_masked_in(ws, net, capacity, source, None)
+    }
+
+    /// [`ChannelFinder::from_source_in`] with failed network elements
+    /// masked out: channels never use a dead edge nor touch a dead
+    /// vertex (not even as an endpoint). `None` means no failures.
+    pub fn from_source_masked_in(
+        ws: &mut DijkstraWorkspace,
+        net: &'n QuantumNetwork,
+        capacity: &CapacityMap,
+        source: NodeId,
+        mask: Option<&SearchMask>,
+    ) -> Self {
+        let run = run_algorithm1(ws, net, capacity, source, mask).to_run();
         ChannelFinder {
             net,
             run,
@@ -121,12 +145,17 @@ impl<'n> ChannelFinder<'n> {
     }
 
     /// Re-runs the search from this finder's source under a (possibly
-    /// changed) capacity map, overwriting the stored run in place — the
-    /// steady-state refresh path of [`ChannelFinderCache`], free of
-    /// allocation once buffers have reached graph size.
-    fn refresh_in(&mut self, ws: &mut DijkstraWorkspace, capacity: &CapacityMap) {
+    /// changed) capacity map and mask, overwriting the stored run in
+    /// place — the steady-state refresh path of [`ChannelFinderCache`],
+    /// free of allocation once buffers have reached graph size.
+    fn refresh_in(
+        &mut self,
+        ws: &mut DijkstraWorkspace,
+        capacity: &CapacityMap,
+        mask: Option<&SearchMask>,
+    ) {
         let source = self.run.source();
-        run_algorithm1(ws, self.net, capacity, source).write_run(&mut self.run);
+        run_algorithm1(ws, self.net, capacity, source, mask).write_run(&mut self.run);
         self.epoch = capacity.epoch();
     }
 
@@ -204,29 +233,38 @@ pub fn max_rate_channel(
 ///
 /// Greedy solvers (Prim-based, Algorithm 3/4, beam search, local search)
 /// re-run the same sources many times between capacity changes. Each
-/// cache entry is keyed by the capacity map's [`epoch`]: a lookup whose
-/// stored epoch matches the current map returns the memoized finder with
-/// no search at all; a mismatch re-runs the search *in place* over the
+/// cache entry is keyed by `(source, capacity epoch, mask hash)`: a
+/// lookup whose stored key matches returns the memoized finder with no
+/// search at all; a mismatch re-runs the search *in place* over the
 /// entry's buffers (and the cache's shared [`DijkstraWorkspace`]), so
 /// steady-state misses allocate nothing either.
 ///
-/// Correctness rests on two invariants (see DESIGN.md):
+/// Correctness rests on these invariants (see DESIGN.md):
 ///
 /// * epochs are process-globally unique per mutation, so epoch equality
 ///   implies content equality even across diverged clones;
-/// * Algorithm 1's result depends only on (network, capacity, source) —
-///   the network is fixed per cache, capacity is pinned by the epoch.
+/// * a [`SearchMask`]'s hash is an order-independent digest of its dead
+///   set, `0` for the empty mask, so a masked run can never be served
+///   to an unmasked query at the same epoch (or vice versa) — the
+///   "stale mask poisons the cache" failure mode;
+/// * Algorithm 1's result depends only on (network, capacity, mask,
+///   source) — the network is fixed per cache, capacity is pinned by
+///   the epoch, the mask by its hash.
 ///
 /// Hits and misses are observable as `core.channel.cache_hits` /
-/// `core.channel.cache_misses`.
+/// `core.channel.cache_misses`; [`search_count`] tallies the searches
+/// this cache actually executed (the repair engine's latency metric).
 ///
 /// [`epoch`]: CapacityMap::epoch
+/// [`search_count`]: ChannelFinderCache::search_count
 pub struct ChannelFinderCache<'n> {
     net: &'n QuantumNetwork,
     ws: DijkstraWorkspace,
-    /// Indexed by source node; each entry stores the epoch its run was
-    /// computed under.
-    entries: Vec<Option<(u64, ChannelFinder<'n>)>>,
+    /// Indexed by source node; each entry stores the (epoch, mask hash)
+    /// key its run was computed under.
+    entries: Vec<Option<((u64, u64), ChannelFinder<'n>)>>,
+    /// Searches actually executed (misses), monotone.
+    searches: u64,
 }
 
 impl<'n> ChannelFinderCache<'n> {
@@ -237,29 +275,50 @@ impl<'n> ChannelFinderCache<'n> {
             net,
             ws: DijkstraWorkspace::with_capacity(nodes),
             entries: (0..nodes).map(|_| None).collect(),
+            searches: 0,
         }
     }
 
     /// The Algorithm-1 run from `source` under `capacity`, reused when
     /// `capacity` has not changed since the entry was computed.
     pub fn finder(&mut self, capacity: &CapacityMap, source: NodeId) -> &ChannelFinder<'n> {
+        self.finder_masked(capacity, None, source)
+    }
+
+    /// [`ChannelFinderCache::finder`] under a failure mask: the entry is
+    /// keyed by `(source, epoch, mask hash)`, so masked and unmasked
+    /// runs at the same epoch never alias.
+    pub fn finder_masked(
+        &mut self,
+        capacity: &CapacityMap,
+        mask: Option<&SearchMask>,
+        source: NodeId,
+    ) -> &ChannelFinder<'n> {
         let idx = source.index();
-        let epoch = capacity.epoch();
+        let key = (capacity.epoch(), mask.map_or(0, |m| m.hash()));
         match &mut self.entries[idx] {
-            Some((cached, _)) if *cached == epoch => {
+            Some((cached, _)) if *cached == key => {
                 qnet_obs::counter!("core.channel.cache_hits");
             }
             Some((cached, finder)) => {
                 qnet_obs::counter!("core.channel.cache_misses");
-                finder.refresh_in(&mut self.ws, capacity);
-                *cached = epoch;
+                finder.refresh_in(&mut self.ws, capacity, mask);
+                *cached = key;
+                self.searches += 1;
             }
             entry @ None => {
                 qnet_obs::counter!("core.channel.cache_misses");
                 *entry = Some((
-                    epoch,
-                    ChannelFinder::from_source_in(&mut self.ws, self.net, capacity, source),
+                    key,
+                    ChannelFinder::from_source_masked_in(
+                        &mut self.ws,
+                        self.net,
+                        capacity,
+                        source,
+                        mask,
+                    ),
                 ));
+                self.searches += 1;
             }
         }
         &self.entries[idx].as_ref().expect("entry just populated").1
@@ -268,6 +327,26 @@ impl<'n> ChannelFinderCache<'n> {
     /// [`max_rate_channel`] through the cache.
     pub fn channel(&mut self, capacity: &CapacityMap, a: NodeId, b: NodeId) -> Option<Channel> {
         self.finder(capacity, a).channel_to(b)
+    }
+
+    /// [`ChannelFinderCache::channel`] under a failure mask.
+    pub fn channel_masked(
+        &mut self,
+        capacity: &CapacityMap,
+        mask: Option<&SearchMask>,
+        a: NodeId,
+        b: NodeId,
+    ) -> Option<Channel> {
+        self.finder_masked(capacity, mask, a).channel_to(b)
+    }
+
+    /// Number of Algorithm-1 searches this cache has actually run
+    /// (cache misses); hits are free. This is the deterministic
+    /// per-cache cost metric the repair engine reports as latency —
+    /// unlike the global obs counters it is unaffected by concurrent
+    /// work elsewhere in the process.
+    pub fn search_count(&self) -> u64 {
+        self.searches
     }
 }
 
@@ -379,6 +458,66 @@ mod tests {
         let (net, [a, ..]) = two_route_net(0.9);
         let cap = CapacityMap::new(&net);
         assert!(max_rate_channel(&net, &cap, a, a).is_none());
+    }
+
+    #[test]
+    fn masked_search_routes_around_failures() {
+        // q = 0.99: best route is via s1. Kill the a–s1 edge → direct.
+        let (net, [a, s1, b]) = two_route_net(0.99);
+        let cap = CapacityMap::new(&net);
+        let e_as1 = net.graph().find_edge(a, s1).unwrap();
+        let mut mask = SearchMask::new();
+        mask.kill_edge(e_as1);
+        let mut ws = DijkstraWorkspace::new();
+        let c = ChannelFinder::from_source_masked_in(&mut ws, &net, &cap, a, Some(&mask))
+            .channel_to(b)
+            .unwrap();
+        assert_eq!(c.link_count(), 1, "masked edge forces the direct fiber");
+
+        // Kill the switch instead: same outcome, and s1 is untouchable.
+        let mut mask = SearchMask::new();
+        mask.kill_node(s1);
+        let finder = ChannelFinder::from_source_masked_in(&mut ws, &net, &cap, a, Some(&mask));
+        let c = finder.channel_to(b).unwrap();
+        assert_eq!(c.link_count(), 1);
+        assert!(finder.channel_to(s1).is_none(), "dead vertex unreachable");
+    }
+
+    #[test]
+    fn stale_mask_never_poisons_the_cache() {
+        // Regression: the cache used to key entries by epoch alone, so a
+        // masked search left a poisoned entry that an unmasked query at
+        // the same epoch would happily reuse.
+        let (net, [a, s1, b]) = two_route_net(0.99);
+        let cap = CapacityMap::new(&net);
+        let mut mask = SearchMask::new();
+        mask.kill_node(s1);
+        let mut cache = ChannelFinderCache::new(&net);
+
+        // Masked query first: detour around the dead switch.
+        let masked = cache.channel_masked(&cap, Some(&mask), a, b).unwrap();
+        assert_eq!(masked.link_count(), 1);
+        // Unmasked query at the SAME epoch must re-search, not reuse the
+        // masked run: the via-switch route is alive and better.
+        let unmasked = cache.channel(&cap, a, b).unwrap();
+        assert_eq!(unmasked.link_count(), 2, "stale-mask cache hit");
+        assert_eq!(unmasked.interior_switches(), &[s1]);
+        // And flipping back must not reuse the unmasked run either.
+        let masked_again = cache.channel_masked(&cap, Some(&mask), a, b).unwrap();
+        assert_eq!(masked_again.link_count(), 1);
+        assert_eq!(cache.search_count(), 3, "three distinct keys, no hits");
+
+        // Same mask twice at the same epoch *is* a hit.
+        let repeat = cache.channel_masked(&cap, Some(&mask), a, b).unwrap();
+        assert_eq!(repeat.link_count(), 1);
+        assert_eq!(cache.search_count(), 3, "identical key must hit");
+
+        // An equal-content mask built in a different order hits too.
+        let mut mask2 = SearchMask::new();
+        mask2.kill_node(s1);
+        let again = cache.channel_masked(&cap, Some(&mask2), a, b).unwrap();
+        assert_eq!(again.link_count(), 1);
+        assert_eq!(cache.search_count(), 3);
     }
 
     #[test]

@@ -243,6 +243,21 @@ impl CapacityMap {
         }
         self.epoch = next_epoch();
     }
+
+    /// Permanently removes `qubits` free qubits at `v` (saturating at
+    /// zero) — the survivability layer's qubit-capacity degradation.
+    ///
+    /// Unlike [`CapacityMap::reserve`], nothing can ever release a
+    /// withdrawal: the qubits are gone, not lent to a channel. A
+    /// zero-qubit withdrawal changes nothing and keeps the epoch (so
+    /// caches stay warm).
+    pub fn withdraw(&mut self, v: NodeId, qubits: u32) {
+        if qubits == 0 {
+            return;
+        }
+        self.free[v.index()] = self.free[v.index()].saturating_sub(qubits);
+        self.epoch = next_epoch();
+    }
 }
 
 #[cfg(test)]

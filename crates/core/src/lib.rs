@@ -38,6 +38,10 @@
 //!   no general polynomial oracle exists).
 //! * [`extensions`] — the paper's two named extensions: fidelity-aware
 //!   routing and concurrent multi-group routing.
+//! * [`survive`] — survivability: seeded fault injection
+//!   ([`survive::FailurePlan`]), the incremental repair ladder
+//!   ([`survive::repair`]), and the edge-criticality report behind the
+//!   paper's Fig. 7(b) "critical edges" observation.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +70,7 @@ pub mod feasibility;
 pub mod model;
 pub mod rate;
 pub mod solver;
+pub mod survive;
 pub mod tree;
 
 /// One-stop imports for typical use.
@@ -78,5 +83,9 @@ pub mod prelude {
     pub use crate::model::{NetworkSpec, NodeKind, PhysicsParams, QuantumNetwork};
     pub use crate::rate::Rate;
     pub use crate::solver::{validate_solution, RoutingAlgorithm, Solution, SolutionStyle};
+    pub use crate::survive::{
+        criticality_report, full_resolve, repair, CriticalityReport, Failure, FailureKind,
+        FailurePlan, NetworkState, RepairMethod, RepairOutcome,
+    };
     pub use crate::tree::EntanglementTree;
 }

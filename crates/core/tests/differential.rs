@@ -15,7 +15,8 @@ use muerp_core::audit::audit_solution;
 use muerp_core::feasibility::exhaustive_optimal;
 use muerp_core::model::{NodeKind, PhysicsParams, QuantumNetwork};
 use muerp_core::solver::{RoutingAlgorithm, Solution};
-use qnet_graph::{Graph, NodeId};
+use muerp_core::survive::{repair, Failure, FailureKind, NetworkState, RepairMethod};
+use qnet_graph::{EdgeId, Graph, NodeId};
 
 /// A random ≤ 8-node instance: `users` users, `switches` switches with
 /// small qubit counts, random fibers with lengths in [100, 5000].
@@ -72,6 +73,15 @@ fn heuristic_solutions(net: &QuantumNetwork) -> Vec<(&'static str, Solution)> {
         .collect()
 }
 
+/// Best rate of the complete exhaustive oracle on the materialized
+/// degraded network, or `None` when it proves infeasibility.
+fn net_oracle(state: &NetworkState<'_>) -> Option<f64> {
+    let degraded = state.materialize();
+    let n = degraded.graph().node_count();
+    exhaustive_optimal(&degraded, n.saturating_sub(1))
+        .map(|tree| Solution::from_tree(tree).rate.value())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -113,6 +123,85 @@ proptest! {
                         sol.rate.value()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn single_failure_repair_is_sound(
+        net in arb_small_network(),
+        pick in 0..1_000_000usize,
+        roll in 0..2usize,
+    ) {
+        let prefer_node = roll == 1;
+        let Ok(base) = PrimBased::default().solve(&net) else { return Ok(()) };
+
+        // A random single infrastructure failure: a switch death when
+        // requested and possible, otherwise a link cut.
+        let switches: Vec<NodeId> = net
+            .graph()
+            .node_ids()
+            .filter(|&v| net.kind(v).is_switch())
+            .collect();
+        let kind = if prefer_node && !switches.is_empty() {
+            FailureKind::SwitchDeath { node: switches[pick % switches.len()] }
+        } else if net.graph().edge_count() > 0 {
+            FailureKind::LinkCut { edge: EdgeId::new(pick % net.graph().edge_count()) }
+        } else {
+            return Ok(());
+        };
+        let failure = Failure { kind, at_slot: 0 };
+        let mut state = NetworkState::new(&net);
+        state.apply(&failure.kind);
+
+        let outcome = repair(&net, &base, &state);
+        // Do-nothing floor: the rate kept by leaving the broken tree up.
+        let do_nothing = if state.admits_solution(&base) { base.rate.value() } else { 0.0 };
+
+        match &outcome.solution {
+            Some(fixed) => {
+                if let Err(v) = audit_solution(&net, fixed) {
+                    prop_assert!(false, "{} repair failed the audit: {v}", outcome.method.name());
+                }
+                prop_assert!(
+                    state.admits_solution(fixed),
+                    "{} repair does not fit the degraded network",
+                    outcome.method.name()
+                );
+                prop_assert!(
+                    fixed.rate.value() >= do_nothing * (1.0 - 1e-12),
+                    "{} repair rate {} below do-nothing {do_nothing}",
+                    outcome.method.name(),
+                    fixed.rate.value()
+                );
+                if outcome.method == RepairMethod::Untouched {
+                    prop_assert!(fixed.rate.value() == base.rate.value());
+                }
+                // Upper bound: the exhaustive optimum of the degraded
+                // network (same node ids, dead elements removed).
+                let degraded = net_oracle(&state);
+                match degraded {
+                    Some(best) => prop_assert!(
+                        fixed.rate.value() <= best * (1.0 + 1e-9),
+                        "{} repair rate {} beat the degraded oracle {best}",
+                        outcome.method.name(),
+                        fixed.rate.value()
+                    ),
+                    None => prop_assert!(
+                        false,
+                        "{} repaired (rate {}) an instance the complete degraded \
+                         oracle proved infeasible",
+                        outcome.method.name(),
+                        fixed.rate.value()
+                    ),
+                }
+            }
+            None => {
+                prop_assert!(outcome.method == RepairMethod::Unrepairable);
+                prop_assert!(
+                    do_nothing == 0.0,
+                    "repair gave up although the original tree still fits"
+                );
             }
         }
     }

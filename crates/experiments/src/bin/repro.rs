@@ -5,7 +5,9 @@
 //!       [--trials N] [--seed S] [--out DIR]
 //! repro obs-diff <baseline.json> <candidate.json> \
 //!       [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only]
-//! repro fuzz --budget <n> [--seed S] [--out FILE]
+//! repro fuzz --budget <n> [--seed S] [--churn] [--out FILE]
+//! repro churn [--trials N] [--failures F] [--seed S] [--slots N] \
+//!       [--out DIR] [--obs-report]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -22,12 +24,20 @@
 //! harness (generate → solve → independent audit → differential
 //! checks); on any failure it shrinks the spec to a minimal
 //! counterexample, writes the JSON report to `--out`, and exits 2.
+//! `--churn` additionally injects one seeded failure per trial and
+//! checks the repair ladder's invariants.
+//!
+//! `churn` runs the survivability battery: seeded failure plans
+//! replayed against solved networks, comparing do-nothing vs. the
+//! incremental repair ladder vs. full re-solve, plus a Monte-Carlo
+//! mid-protocol replay; output follows the same table/CSV/obs-report
+//! flow as the experiment runner, under the id `churn`.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use muerp_experiments::cli::{self, Command, FuzzArgs, ObsDiffArgs};
-use muerp_experiments::{ablations, beyond, convergence, figures};
+use muerp_experiments::cli::{self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs};
+use muerp_experiments::{ablations, beyond, churn, convergence, figures};
 use muerp_experiments::{FigureTable, TrialConfig};
 
 fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
@@ -134,11 +144,66 @@ fn run_fuzz(args: &FuzzArgs) -> ExitCode {
     ExitCode::from(2)
 }
 
+fn run_churn(args: &ChurnArgs) -> ExitCode {
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.obs_report && std::env::var_os("MUERP_OBS").is_none() {
+        qnet_obs::set_level(qnet_obs::ObsLevel::Full);
+    }
+    if args.obs_report {
+        qnet_obs::global().reset();
+        qnet_obs::reset_spans();
+        qnet_obs::reset_trace();
+    }
+    let started = std::time::Instant::now();
+    println!(
+        "MUERP survivability — {} trial(s), {} failure(s) each, base seed {}\n",
+        args.cfg.trials, args.cfg.failures, args.cfg.base_seed
+    );
+    for table in churn::churn_tables(args.cfg) {
+        println!("{}", table.render_text());
+        if let Some(dir) = &args.out {
+            let path = dir.join(format!("{}.csv", table.id));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+    if args.obs_report {
+        let report = qnet_obs::RunReport::capture("churn");
+        match qnet_obs::write_report(Path::new("results/obs"), &report) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write obs report for churn: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if qnet_obs::trace_enabled() {
+            match qnet_obs::write_trace_jsonl(Path::new("results/obs"), "churn") {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write trace for churn: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!("(churn took {:.1?})", started.elapsed());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match cli::parse_command(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
         Ok(Command::ObsDiff(d)) => return run_obs_diff(&d),
         Ok(Command::Fuzz(f)) => return run_fuzz(&f),
+        Ok(Command::Churn(c)) => return run_churn(&c),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;

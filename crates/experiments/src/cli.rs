@@ -45,6 +45,9 @@ pub enum Command {
     /// `repro fuzz --budget <n>`: sweep random topology specs through
     /// generate→solve→audit and report shrunk counterexamples.
     Fuzz(FuzzArgs),
+    /// `repro churn --trials N --failures F`: the survivability battery
+    /// (do-nothing vs. repair vs. full re-solve under seeded faults).
+    Churn(ChurnArgs),
 }
 
 /// Arguments of the `fuzz` subcommand.
@@ -54,6 +57,8 @@ pub struct FuzzArgs {
     pub budget: usize,
     /// Base seed; trial `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Also run the churn oracle (failure + repair) per trial.
+    pub churn: bool,
     /// Where to write the JSON counterexample report on failure.
     pub out: PathBuf,
 }
@@ -64,8 +69,21 @@ impl FuzzArgs {
         qnet_conformance::FuzzConfig {
             budget: self.budget,
             base_seed: self.base_seed,
+            churn: self.churn,
         }
     }
+}
+
+/// Arguments of the `churn` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnArgs {
+    /// The churn battery configuration.
+    pub cfg: crate::churn::ChurnConfig,
+    /// Optional CSV output directory.
+    pub out: Option<PathBuf>,
+    /// Write an observability report (and trace, at `MUERP_OBS=trace`)
+    /// into `results/obs/`, like the experiment runner.
+    pub obs_report: bool,
 }
 
 /// Arguments of the `obs-diff` subcommand.
@@ -117,7 +135,61 @@ where
         argv.next();
         return parse_fuzz(argv).map(Command::Fuzz);
     }
+    if argv.peek().map(String::as_str) == Some("churn") {
+        argv.next();
+        return parse_churn(argv).map(Command::Churn);
+    }
     parse(argv).map(Command::Run)
+}
+
+fn parse_churn<I>(argv: I) -> Result<ChurnArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut cfg = crate::churn::ChurnConfig::default();
+    let mut out = None;
+    let mut obs_report = false;
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = argv.next().ok_or("--trials needs a value")?;
+                cfg.trials = v.parse().map_err(|e| format!("bad --trials: {e}"))?;
+                if cfg.trials == 0 {
+                    return Err("--trials must be positive".into());
+                }
+            }
+            "--failures" => {
+                let v = argv.next().ok_or("--failures needs a value")?;
+                cfg.failures = v.parse().map_err(|e| format!("bad --failures: {e}"))?;
+                if cfg.failures == 0 {
+                    return Err("--failures must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                cfg.base_seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--slots" => {
+                let v = argv.next().ok_or("--slots needs a value")?;
+                cfg.sim_slots = v.parse().map_err(|e| format!("bad --slots: {e}"))?;
+                if cfg.sim_slots == 0 {
+                    return Err("--slots must be positive".into());
+                }
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--obs-report" => obs_report = true,
+            other => return Err(format!("unknown churn argument: {other}")),
+        }
+    }
+    Ok(ChurnArgs {
+        cfg,
+        out,
+        obs_report,
+    })
 }
 
 fn parse_fuzz<I>(argv: I) -> Result<FuzzArgs, String>
@@ -126,10 +198,12 @@ where
 {
     let mut budget: Option<usize> = None;
     let mut base_seed = 0u64;
+    let mut churn = false;
     let mut out = PathBuf::from("fuzz-counterexample.json");
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--churn" => churn = true,
             "--budget" => {
                 let v = argv.next().ok_or("--budget needs a value")?;
                 let n: usize = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
@@ -149,11 +223,12 @@ where
             other => return Err(format!("unknown fuzz argument: {other}")),
         }
     }
-    let budget =
-        budget.ok_or("usage: repro fuzz --budget <n> [--seed S] [--out FILE]".to_string())?;
+    let budget = budget
+        .ok_or("usage: repro fuzz --budget <n> [--seed S] [--churn] [--out FILE]".to_string())?;
     Ok(FuzzArgs {
         budget,
         base_seed,
+        churn,
         out,
     })
 }
@@ -401,8 +476,17 @@ mod tests {
         };
         assert_eq!(f.budget, 500);
         assert_eq!(f.base_seed, 0);
+        assert!(!f.churn);
         assert_eq!(f.out, PathBuf::from("fuzz-counterexample.json"));
         assert_eq!(f.config().budget, 500);
+        assert!(!f.config().churn);
+
+        let c = parse_command(s(&["fuzz", "--budget", "9", "--churn"])).unwrap();
+        let Command::Fuzz(f) = c else {
+            panic!("expected Fuzz, got {c:?}");
+        };
+        assert!(f.churn);
+        assert!(f.config().churn);
 
         let c = parse_command(s(&[
             "fuzz",
@@ -436,6 +520,55 @@ mod tests {
         assert!(parse_command(s(&["fuzz", "--budget", "5", "--bogus"]))
             .unwrap_err()
             .contains("unknown fuzz argument"));
+    }
+
+    #[test]
+    fn churn_parses_flags_and_defaults() {
+        let c = parse_command(s(&["churn"])).unwrap();
+        let Command::Churn(a) = c else {
+            panic!("expected Churn, got {c:?}");
+        };
+        assert_eq!(a.cfg, crate::churn::ChurnConfig::default());
+        assert_eq!(a.out, None);
+        assert!(!a.obs_report);
+
+        let c = parse_command(s(&[
+            "churn",
+            "--trials",
+            "5",
+            "--failures",
+            "2",
+            "--seed",
+            "9",
+            "--slots",
+            "100",
+            "--out",
+            "/tmp/churn",
+            "--obs-report",
+        ]))
+        .unwrap();
+        let Command::Churn(a) = c else {
+            panic!("expected Churn, got {c:?}");
+        };
+        assert_eq!(a.cfg.trials, 5);
+        assert_eq!(a.cfg.failures, 2);
+        assert_eq!(a.cfg.base_seed, 9);
+        assert_eq!(a.cfg.sim_slots, 100);
+        assert_eq!(a.out, Some(PathBuf::from("/tmp/churn")));
+        assert!(a.obs_report);
+    }
+
+    #[test]
+    fn churn_rejects_bad_invocations() {
+        assert!(parse_command(s(&["churn", "--trials", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["churn", "--failures"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_command(s(&["churn", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown churn argument"));
     }
 
     #[test]

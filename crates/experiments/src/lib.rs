@@ -33,6 +33,7 @@
 
 pub mod ablations;
 pub mod beyond;
+pub mod churn;
 pub mod cli;
 pub mod convergence;
 pub mod figures;
@@ -40,6 +41,7 @@ pub mod runner;
 pub mod suite;
 pub mod table;
 
+pub use churn::{churn_tables, ChurnConfig};
 pub use runner::{mean_rates, TrialConfig};
 pub use suite::AlgoKind;
 pub use table::FigureTable;

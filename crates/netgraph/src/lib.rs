@@ -21,6 +21,9 @@
 //! * [`connectivity`]: components, bridges and articulation points; bridges
 //!   are the "critical edges" the paper's Fig. 7(b) edge-removal experiment
 //!   surfaces.
+//! * [`mask`]: failure masks ([`SearchMask`]) that exclude dead edges and
+//!   vertices from Dijkstra/Yen searches without re-densifying ids — the
+//!   substrate for the survivability layer's incremental repair.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod dcmst;
 pub mod dot;
 pub mod graph;
 pub mod ksp;
+pub mod mask;
 pub mod mst;
 pub mod paths;
 pub mod steiner;
@@ -56,6 +60,7 @@ pub mod unionfind;
 pub mod weight;
 
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
+pub use mask::{dijkstra_masked_into, k_shortest_paths_masked_in, SearchMask};
 pub use paths::{
     dijkstra, dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraView, DijkstraWorkspace, Path,
 };

@@ -127,6 +127,34 @@ pub enum TraceEvent {
         /// Whether the step succeeded.
         success: bool,
     },
+    /// A scheduled network fault was injected (survivability replay):
+    /// `kind` is `"link-cut"`, `"switch-death"`, or `"capacity-loss"`.
+    Failure {
+        /// Fault kind tag.
+        kind: &'static str,
+        /// The failed subject: one endpoint node index for a link cut,
+        /// the switch node index otherwise.
+        subject: u32,
+        /// Kind-specific detail: the other endpoint for a link cut,
+        /// qubits lost for capacity loss, 0 for switch death.
+        detail: u32,
+        /// Protocol slot at which the fault fired.
+        at_slot: u64,
+    },
+    /// The repair engine answered a fault: `method` is
+    /// `"untouched"`, `"local-reroute"`, `"reattach"`,
+    /// `"full-resolve"`, or `"unrepairable"`.
+    Repair {
+        /// Repair-ladder rung tag.
+        method: &'static str,
+        /// Channels of the running plan the fault broke.
+        broken: u32,
+        /// Channel-finder searches the repair spent (its latency).
+        finder_runs: u64,
+        /// Entanglement rate of the repaired plan; 0.0 when
+        /// unrepairable.
+        rate: f64,
+    },
 }
 
 impl TraceEvent {
@@ -140,6 +168,8 @@ impl TraceEvent {
             TraceEvent::BeamRound { .. } => "beam_round",
             TraceEvent::MoveAccepted { .. } => "move_accepted",
             TraceEvent::Protocol { .. } => "protocol",
+            TraceEvent::Failure { .. } => "failure",
+            TraceEvent::Repair { .. } => "repair",
         }
     }
 
@@ -226,6 +256,28 @@ impl TraceEvent {
                 m.insert("channel".into(), Value::from(channel));
                 m.insert("index".into(), Value::from(index));
                 m.insert("success".into(), Value::from(success));
+            }
+            TraceEvent::Failure {
+                kind,
+                subject,
+                detail,
+                at_slot,
+            } => {
+                m.insert("kind".into(), Value::from(kind));
+                m.insert("subject".into(), Value::from(subject));
+                m.insert("detail".into(), Value::from(detail));
+                m.insert("at_slot".into(), Value::from(at_slot));
+            }
+            TraceEvent::Repair {
+                method,
+                broken,
+                finder_runs,
+                rate,
+            } => {
+                m.insert("method".into(), Value::from(method));
+                m.insert("broken".into(), Value::from(broken));
+                m.insert("finder_runs".into(), Value::from(finder_runs));
+                m.insert("rate".into(), Value::from(rate));
             }
         }
         Value::Object(m)
@@ -536,6 +588,18 @@ mod tests {
                 channel: 0,
                 index: 3,
                 success: true,
+            },
+            TraceEvent::Failure {
+                kind: "link-cut",
+                subject: 2,
+                detail: 7,
+                at_slot: 40,
+            },
+            TraceEvent::Repair {
+                method: "local-reroute",
+                broken: 1,
+                finder_runs: 4,
+                rate: 0.125,
             },
         ];
         for e in events {

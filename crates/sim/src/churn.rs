@@ -1,0 +1,404 @@
+//! Mid-protocol failure replay: a scheduled fault stream interrupts a
+//! running [`Simulator`], a repair callback swaps the routing plan, and
+//! the flight recorder gets `Failure`/`Repair` trace events.
+//!
+//! The simulator works in raw index space and knows nothing about the
+//! routing layer: faults are plain node/edge-endpoint indices, and
+//! repair is delegated to a caller-provided callback (the experiments
+//! crate wires it to `muerp_core::survive::repair`). A fault that does
+//! not touch the running plan is recorded but triggers no repair; a
+//! fault the callback cannot repair marks the plan broken, and every
+//! later slot counts as a failed trial until a subsequent fault's
+//! repair succeeds (the callback sees every plan-touching fault, even
+//! while broken).
+
+use qnet_obs::TraceEvent;
+
+use crate::engine::Simulator;
+use crate::plan::RoutingPlan;
+
+/// One scheduled fault, in the simulator's raw index space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// The fiber between nodes `a` and `b` is cut.
+    LinkDown {
+        /// Protocol slot at which the fault fires.
+        at_slot: u64,
+        /// One endpoint (raw node index).
+        a: usize,
+        /// The other endpoint (raw node index).
+        b: usize,
+    },
+    /// Node `node` dies; channels through it (interior or endpoint)
+    /// break.
+    NodeDown {
+        /// Protocol slot at which the fault fires.
+        at_slot: u64,
+        /// The dead node (raw node index).
+        node: usize,
+    },
+    /// Node `node` loses `qubits` qubits of memory. Running channels
+    /// keep their reservations (the qubits lost are free ones), so the
+    /// plan itself never breaks — but the callback may still rebuild
+    /// it if the routing layer decides channels must be torn down.
+    Degrade {
+        /// Protocol slot at which the fault fires.
+        at_slot: u64,
+        /// The degraded node (raw node index).
+        node: usize,
+        /// Qubits lost.
+        qubits: u32,
+    },
+}
+
+impl FailureEvent {
+    /// The slot at which this fault fires.
+    pub fn at_slot(&self) -> u64 {
+        match *self {
+            FailureEvent::LinkDown { at_slot, .. }
+            | FailureEvent::NodeDown { at_slot, .. }
+            | FailureEvent::Degrade { at_slot, .. } => at_slot,
+        }
+    }
+
+    /// Kebab-case tag matching `muerp_core::survive::FailureKind`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureEvent::LinkDown { .. } => "link-cut",
+            FailureEvent::NodeDown { .. } => "switch-death",
+            FailureEvent::Degrade { .. } => "capacity-loss",
+        }
+    }
+
+    /// `true` when this fault structurally breaks a channel of `plan`.
+    pub fn breaks_plan(&self, plan: &RoutingPlan) -> bool {
+        match *self {
+            FailureEvent::LinkDown { a, b, .. } => plan.channels.iter().any(|c| {
+                c.nodes
+                    .windows(2)
+                    .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+            }),
+            FailureEvent::NodeDown { node, .. } => {
+                plan.channels.iter().any(|c| c.nodes.contains(&node))
+            }
+            FailureEvent::Degrade { .. } => false,
+        }
+    }
+}
+
+/// A replacement plan from the repair callback, with the metadata the
+/// flight recorder's `Repair` event wants.
+#[derive(Clone, Debug)]
+pub struct PlanFix {
+    /// The repaired routing plan.
+    pub plan: RoutingPlan,
+    /// Repair-ladder rung tag (`"local-reroute"`, `"reattach"`,
+    /// `"full-resolve"`, `"untouched"`).
+    pub method: &'static str,
+    /// Channel-finder searches the repair spent.
+    pub finder_runs: u64,
+    /// Analytic entanglement rate of the repaired plan.
+    pub rate: f64,
+}
+
+/// Aggregate result of a churn replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Slots in which all users ended up entangled.
+    pub successes: u64,
+    /// Total slots simulated (including broken-plan slots).
+    pub trials: u64,
+    /// Faults injected.
+    pub failures_injected: usize,
+    /// Faults that touched the running plan and were repaired.
+    pub repairs: usize,
+    /// Slots skipped because the plan was broken and unrepaired.
+    pub unrepaired_slots: u64,
+}
+
+impl ChurnStats {
+    /// Fraction of slots that delivered entanglement (availability).
+    pub fn availability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+impl Simulator {
+    /// Runs `slots` protocol slots while replaying `events` (sorted by
+    /// [`FailureEvent::at_slot`]; ties fire in order). Before each
+    /// slot, every fault scheduled at or before it is injected:
+    ///
+    /// * a `Failure` trace event is recorded (at `Trace` level);
+    /// * if the fault touches the running plan — or the plan is already
+    ///   broken — `repair` is invoked with the fault and the current
+    ///   plan; `Some(PlanFix)` swaps the plan in and records a `Repair`
+    ///   trace event, `None` records an `"unrepairable"` `Repair` and
+    ///   marks the plan broken.
+    ///
+    /// Broken-plan slots consume no randomness and count as failed
+    /// trials, so a replay is bitwise deterministic for a fixed seed
+    /// even across repairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is not sorted by slot.
+    pub fn run_churn(
+        &mut self,
+        slots: u64,
+        events: &[FailureEvent],
+        mut repair: impl FnMut(&FailureEvent, &RoutingPlan) -> Option<PlanFix>,
+    ) -> ChurnStats {
+        assert!(
+            events.windows(2).all(|w| w[0].at_slot() <= w[1].at_slot()),
+            "failure events must be sorted by at_slot"
+        );
+        let _span = qnet_obs::span!("sim.churn.run");
+        let mut stats = ChurnStats::default();
+        let mut next_event = 0usize;
+        let mut plan_broken = false;
+        for slot in 0..slots {
+            while let Some(event) = events.get(next_event) {
+                if event.at_slot() > slot {
+                    break;
+                }
+                next_event += 1;
+                stats.failures_injected += 1;
+                qnet_obs::counter!("sim.churn.failures");
+                if qnet_obs::trace_enabled() {
+                    let (subject, detail) = match *event {
+                        FailureEvent::LinkDown { a, b, .. } => (a as u32, b as u32),
+                        FailureEvent::NodeDown { node, .. } => (node as u32, 0),
+                        FailureEvent::Degrade { node, qubits, .. } => (node as u32, qubits),
+                    };
+                    qnet_obs::record_event(TraceEvent::Failure {
+                        kind: event.name(),
+                        subject,
+                        detail,
+                        at_slot: event.at_slot(),
+                    });
+                }
+                if !plan_broken && !event.breaks_plan(self.plan()) {
+                    continue;
+                }
+                let broken_count = self
+                    .plan()
+                    .channels
+                    .iter()
+                    .filter(|c| {
+                        c.nodes.windows(2).any(|w| {
+                            matches!(*event, FailureEvent::LinkDown { a, b, .. }
+                                if (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+                        }) || matches!(*event, FailureEvent::NodeDown { node, .. }
+                            if c.nodes.contains(&node))
+                    })
+                    .count() as u32;
+                match repair(event, self.plan()) {
+                    Some(fix) => {
+                        qnet_obs::counter!("sim.churn.repairs");
+                        if qnet_obs::trace_enabled() {
+                            qnet_obs::record_event(TraceEvent::Repair {
+                                method: fix.method,
+                                broken: broken_count,
+                                finder_runs: fix.finder_runs,
+                                rate: fix.rate,
+                            });
+                        }
+                        self.set_plan(fix.plan);
+                        plan_broken = false;
+                        stats.repairs += 1;
+                    }
+                    None => {
+                        qnet_obs::counter!("sim.churn.unrepaired");
+                        if qnet_obs::trace_enabled() {
+                            qnet_obs::record_event(TraceEvent::Repair {
+                                method: "unrepairable",
+                                broken: broken_count,
+                                finder_runs: 0,
+                                rate: 0.0,
+                            });
+                        }
+                        plan_broken = true;
+                    }
+                }
+            }
+            stats.trials += 1;
+            if plan_broken {
+                stats.unrepaired_slots += 1;
+                continue;
+            }
+            if self.run_slot() {
+                stats.successes += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimPhysics;
+    use crate::plan::ChannelSpec;
+
+    fn physics() -> SimPhysics {
+        SimPhysics {
+            swap_success: 0.9,
+            attenuation: 1e-4,
+            fusion_success: None,
+        }
+    }
+
+    /// Two channels: 0–1 via switch 3, and 1–2 direct.
+    fn plan() -> RoutingPlan {
+        RoutingPlan::tree(vec![
+            ChannelSpec::new(vec![0, 3, 1], vec![500.0, 500.0], &[false, true, false]),
+            ChannelSpec::new(vec![1, 2], vec![800.0], &[false, false]),
+        ])
+    }
+
+    /// The same tree after repairing a cut of the 0–3 fiber: 0–1 now
+    /// relayed by switch 4.
+    fn repaired_plan() -> RoutingPlan {
+        RoutingPlan::tree(vec![
+            ChannelSpec::new(vec![0, 4, 1], vec![900.0, 900.0], &[false, true, false]),
+            ChannelSpec::new(vec![1, 2], vec![800.0], &[false, false]),
+        ])
+    }
+
+    #[test]
+    fn unrelated_failure_matches_plain_run_exactly() {
+        let slots = 200;
+        let mut plain = Simulator::new(plan(), physics(), 7);
+        let mut expected = 0u64;
+        for _ in 0..slots {
+            if plain.run_slot() {
+                expected += 1;
+            }
+        }
+        let mut churn = Simulator::new(plan(), physics(), 7);
+        // Node 9 and fiber 7–8 are not part of the plan.
+        let events = [
+            FailureEvent::NodeDown {
+                at_slot: 3,
+                node: 9,
+            },
+            FailureEvent::LinkDown {
+                at_slot: 10,
+                a: 7,
+                b: 8,
+            },
+        ];
+        let stats = churn.run_churn(slots, &events, |_, _| {
+            panic!("repair must not be invoked for untouched plans")
+        });
+        assert_eq!(stats.successes, expected, "same seed, same RNG stream");
+        assert_eq!(stats.trials, slots);
+        assert_eq!(stats.failures_injected, 2);
+        assert_eq!(stats.repairs, 0);
+        assert_eq!(stats.unrepaired_slots, 0);
+    }
+
+    #[test]
+    fn repair_swaps_the_plan_and_simulation_continues() {
+        let mut sim = Simulator::new(plan(), physics(), 21);
+        let events = [FailureEvent::LinkDown {
+            at_slot: 50,
+            a: 0,
+            b: 3,
+        }];
+        let mut seen: Option<&'static str> = None;
+        let stats = sim.run_churn(400, &events, |event, current| {
+            assert_eq!(event.name(), "link-cut");
+            assert_eq!(current.channels.len(), 2);
+            seen = Some(event.name());
+            Some(PlanFix {
+                plan: repaired_plan(),
+                method: "local-reroute",
+                finder_runs: 1,
+                rate: 0.5,
+            })
+        });
+        assert_eq!(seen, Some("link-cut"));
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.unrepaired_slots, 0);
+        assert_eq!(stats.trials, 400);
+        assert!(stats.successes > 0, "repaired plan keeps delivering");
+        assert_eq!(sim.plan().channels[0].nodes, vec![0, 4, 1]);
+    }
+
+    #[test]
+    fn unrepaired_plan_fails_remaining_slots() {
+        let mut sim = Simulator::new(plan(), physics(), 5);
+        let events = [FailureEvent::NodeDown {
+            at_slot: 100,
+            node: 3,
+        }];
+        let stats = sim.run_churn(300, &events, |_, _| None);
+        assert_eq!(stats.repairs, 0);
+        assert_eq!(stats.unrepaired_slots, 200, "slots 100.. are all dead");
+        assert!(stats.availability() < 1.0);
+        // Degrade events never break the plan on their own.
+        let mut sim = Simulator::new(plan(), physics(), 5);
+        let events = [FailureEvent::Degrade {
+            at_slot: 0,
+            node: 3,
+            qubits: 2,
+        }];
+        let stats = sim.run_churn(50, &events, |_, _| {
+            panic!("degrade alone must not trigger repair")
+        });
+        assert_eq!(stats.failures_injected, 1);
+        assert_eq!(stats.unrepaired_slots, 0);
+    }
+
+    #[test]
+    fn churn_replay_is_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(plan(), physics(), 11);
+            let events = [
+                FailureEvent::LinkDown {
+                    at_slot: 20,
+                    a: 1,
+                    b: 2,
+                },
+                FailureEvent::NodeDown {
+                    at_slot: 60,
+                    node: 4,
+                },
+            ];
+            sim.run_churn(150, &events, |event, _| match event {
+                FailureEvent::LinkDown { .. } => Some(PlanFix {
+                    plan: repaired_plan(),
+                    method: "full-resolve",
+                    finder_runs: 3,
+                    rate: 0.4,
+                }),
+                _ => None,
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn out_of_order_events_panic() {
+        let mut sim = Simulator::new(plan(), physics(), 1);
+        let events = [
+            FailureEvent::NodeDown {
+                at_slot: 9,
+                node: 3,
+            },
+            FailureEvent::NodeDown {
+                at_slot: 2,
+                node: 4,
+            },
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_churn(10, &events, |_, _| None)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -86,6 +86,14 @@ impl Simulator {
         &self.plan
     }
 
+    /// Replaces the routing plan mid-run (survivability repair): later
+    /// slots execute the new plan. The RNG stream is untouched, so a
+    /// replay with the same seed and the same swap sequence is
+    /// deterministic.
+    pub fn set_plan(&mut self, plan: RoutingPlan) {
+        self.plan = plan;
+    }
+
     /// Simulates one slot; `true` when all users ended up entangled.
     pub fn run_slot(&mut self) -> bool {
         self.run_slot_observed(&mut |_| {})

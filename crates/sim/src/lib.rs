@@ -46,6 +46,7 @@
 
 pub mod bsm;
 pub mod buffered;
+pub mod churn;
 pub mod engine;
 pub mod entangle;
 pub mod fidelity;
@@ -56,6 +57,7 @@ pub mod plan;
 pub mod qubit;
 pub mod trace;
 
+pub use churn::{ChurnStats, FailureEvent, PlanFix};
 pub use engine::{SimPhysics, Simulator, SlotStats};
 pub use metrics::RateEstimate;
 pub use plan::{ChannelSpec, RoutingPlan};
