@@ -69,6 +69,7 @@ fn run_algorithm1<'w>(
         },
     };
     qnet_obs::counter!("core.channel.finder_runs");
+    let _span = qnet_obs::span!("core.channel.finder_run");
     let view = dijkstra_into(ws, net.graph(), source, &cfg);
     let n = rejected_full.get();
     if n > 0 {
@@ -265,6 +266,43 @@ pub struct ChannelFinderCache<'n> {
     entries: Vec<Option<((u64, u64), ChannelFinder<'n>)>>,
     /// Searches actually executed (misses), monotone.
     searches: u64,
+    /// Per-instance hit/miss/refresh tallies (see
+    /// [`ChannelFinderCache::efficiency`]).
+    efficiency: CacheEfficiency,
+}
+
+/// Deterministic per-cache lookup tallies, split by how each miss was
+/// served. Unlike the global `core.channel.cache_*` counters these are
+/// scoped to one cache instance, so a profile run can report the exact
+/// efficiency of the solver under measurement even while other threads
+/// run their own caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheEfficiency {
+    /// Lookups answered from a memoized run (no search).
+    pub hits: u64,
+    /// Misses that re-ran the search *in place* over an existing
+    /// entry's buffers (steady state: zero allocation).
+    pub refreshes: u64,
+    /// Misses that populated a previously empty entry (first touch of a
+    /// source; materializes a fresh run).
+    pub fills: u64,
+}
+
+impl CacheEfficiency {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.refreshes + self.fills
+    }
+
+    /// Hits over lookups, 1.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl<'n> ChannelFinderCache<'n> {
@@ -276,6 +314,7 @@ impl<'n> ChannelFinderCache<'n> {
             ws: DijkstraWorkspace::with_capacity(nodes),
             entries: (0..nodes).map(|_| None).collect(),
             searches: 0,
+            efficiency: CacheEfficiency::default(),
         }
     }
 
@@ -299,15 +338,19 @@ impl<'n> ChannelFinderCache<'n> {
         match &mut self.entries[idx] {
             Some((cached, _)) if *cached == key => {
                 qnet_obs::counter!("core.channel.cache_hits");
+                self.efficiency.hits += 1;
             }
             Some((cached, finder)) => {
                 qnet_obs::counter!("core.channel.cache_misses");
+                qnet_obs::counter!("core.channel.cache_refreshes");
+                self.efficiency.refreshes += 1;
                 finder.refresh_in(&mut self.ws, capacity, mask);
                 *cached = key;
                 self.searches += 1;
             }
             entry @ None => {
                 qnet_obs::counter!("core.channel.cache_misses");
+                self.efficiency.fills += 1;
                 *entry = Some((
                     key,
                     ChannelFinder::from_source_masked_in(
@@ -347,6 +390,13 @@ impl<'n> ChannelFinderCache<'n> {
     /// work elsewhere in the process.
     pub fn search_count(&self) -> u64 {
         self.searches
+    }
+
+    /// This cache's lookup tallies, split hit/refresh/fill. Fully
+    /// deterministic for a fixed query sequence (unlike wall time), so
+    /// `repro profile` byte-compares them across runs.
+    pub fn efficiency(&self) -> CacheEfficiency {
+        self.efficiency
     }
 }
 
@@ -518,6 +568,38 @@ mod tests {
         let again = cache.channel_masked(&cap, Some(&mask2), a, b).unwrap();
         assert_eq!(again.link_count(), 1);
         assert_eq!(cache.search_count(), 3);
+    }
+
+    #[test]
+    fn cache_efficiency_tallies_hits_refreshes_and_fills() {
+        let (net, [a, _s1, b]) = two_route_net(0.99);
+        let mut cap = CapacityMap::new(&net);
+        let mut cache = ChannelFinderCache::new(&net);
+        assert_eq!(cache.efficiency().hit_rate(), 1.0, "vacuous before use");
+
+        cache.channel(&cap, a, b); // first touch of source a → fill
+        cache.channel(&cap, a, b); // same key → hit
+        cache.channel(&cap, b, a); // first touch of source b → fill
+        let ch = cache.channel(&cap, a, b).unwrap(); // hit again
+        cap.reserve(&ch); // epoch bump
+        cache.channel(&cap, a, b); // stale entry → in-place refresh
+
+        let eff = cache.efficiency();
+        assert_eq!(
+            eff,
+            CacheEfficiency {
+                hits: 2,
+                refreshes: 1,
+                fills: 2,
+            }
+        );
+        assert_eq!(eff.lookups(), 5);
+        assert!((eff.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(
+            cache.search_count(),
+            eff.refreshes + eff.fills,
+            "searches are exactly the misses"
+        );
     }
 
     #[test]

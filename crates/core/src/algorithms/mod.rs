@@ -19,7 +19,7 @@ mod optimal;
 mod prim_based;
 
 pub use beam::BeamSearch;
-pub use channel_finder::{max_rate_channel, ChannelFinder, ChannelFinderCache};
+pub use channel_finder::{max_rate_channel, CacheEfficiency, ChannelFinder, ChannelFinderCache};
 pub use conflict_free::{ConflictFree, RetentionPolicy};
 pub use k_channels::{k_best_channels, k_best_channels_in};
 pub use local_search::{refine, LocalSearchOptions, Refined};

@@ -272,6 +272,7 @@ impl SolutionAudit {
         net: &QuantumNetwork,
         solution: &Solution,
     ) -> Result<AuditReport, AuditViolation> {
+        let _span = qnet_obs::span!("core.audit.solution");
         match solution.style {
             SolutionStyle::BsmTree => self.audit_tree(net, solution),
             SolutionStyle::FusionStar {

@@ -8,6 +8,8 @@
 //! repro fuzz --budget <n> [--seed S] [--churn] [--out FILE]
 //! repro churn [--trials N] [--failures F] [--seed S] [--slots N] \
 //!       [--out DIR] [--obs-report]
+//! repro profile <paper-default|waxman-240> [--seed S] [--out DIR] \
+//!       [--top N] [--bench-out FILE]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -32,12 +34,25 @@
 //! incremental repair ladder vs. full re-solve, plus a Monte-Carlo
 //! mid-protocol replay; output follows the same table/CSV/obs-report
 //! flow as the experiment runner, under the id `churn`.
+//!
+//! `profile` runs one scenario single-threaded at `MUERP_OBS=trace`
+//! and writes the perf-attribution artifacts: deterministic facts to
+//! stdout and `profile-<scenario>.csv`, the wall-time attribution to
+//! stderr and `profile-<scenario>-times.csv`, a schema-3 run report,
+//! and a Chrome/Perfetto `trace.json`. Build with
+//! `--features alloc-profile` to add allocation counts.
+
+// Counting global allocator behind the profiling feature: the rest of
+// the binary pays nothing unless `alloc-profile` is compiled in.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: qnet_obs::CountingAllocator = qnet_obs::CountingAllocator;
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use muerp_experiments::cli::{self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs};
-use muerp_experiments::{ablations, beyond, churn, convergence, figures};
+use muerp_experiments::cli::{self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs, ProfileArgs};
+use muerp_experiments::{ablations, beyond, churn, convergence, figures, profile};
 use muerp_experiments::{FigureTable, TrialConfig};
 
 fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
@@ -83,6 +98,26 @@ fn load_report(path: &Path) -> Result<qnet_obs::RunReport, String> {
     })
 }
 
+/// Loudly surfaces flight-recorder evictions (the `obs.trace.dropped`
+/// counter) so a truncated trace is never mistaken for a complete one.
+fn warn_on_trace_drops(report: &qnet_obs::RunReport, context: &str) {
+    let dropped = report.counter_total("obs.trace.dropped");
+    if dropped > 0 {
+        eprintln!(
+            "WARNING: {context}: flight recorder evicted {dropped} event(s) \
+             (obs.trace.dropped) — the trace is incomplete; raise \
+             MUERP_OBS_TRACE_CAP to keep the full run"
+        );
+    }
+    let spans_dropped = report.counter_total("obs.spans.dropped");
+    if spans_dropped > 0 {
+        eprintln!(
+            "WARNING: {context}: span store capped, {spans_dropped} span(s) dropped \
+             (obs.spans.dropped) — attribution is partial; raise MUERP_OBS_SPAN_CAP"
+        );
+    }
+}
+
 fn run_obs_diff(args: &ObsDiffArgs) -> ExitCode {
     let (baseline, candidate) = match (load_report(&args.baseline), load_report(&args.candidate)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -93,6 +128,7 @@ fn run_obs_diff(args: &ObsDiffArgs) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    warn_on_trace_drops(&candidate, "candidate report");
     let diff = qnet_obs::diff_reports(&baseline, &candidate, &args.options());
     print!("{}", diff.render_table());
     if diff.has_regressions() {
@@ -177,6 +213,7 @@ fn run_churn(args: &ChurnArgs) -> ExitCode {
     }
     if args.obs_report {
         let report = qnet_obs::RunReport::capture("churn");
+        warn_on_trace_drops(&report, "churn");
         match qnet_obs::write_report(Path::new("results/obs"), &report) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => {
@@ -198,12 +235,34 @@ fn run_churn(args: &ChurnArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_profile_cmd(args: &ProfileArgs) -> ExitCode {
+    let started = std::time::Instant::now();
+    let (run, written) = match profile::run_profile(args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Deterministic facts on stdout (CI byte-compares these) …
+    print!("{}", run.render_text());
+    // … wall-clock attribution on stderr (jitters run to run).
+    eprint!("{}", run.render_times(args.top));
+    warn_on_trace_drops(&run.report, &run.scenario);
+    for path in &written {
+        println!("wrote {}", path.display());
+    }
+    eprintln!("(profile {} took {:.1?})", run.scenario, started.elapsed());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match cli::parse_command(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
         Ok(Command::ObsDiff(d)) => return run_obs_diff(&d),
         Ok(Command::Fuzz(f)) => return run_fuzz(&f),
         Ok(Command::Churn(c)) => return run_churn(&c),
+        Ok(Command::Profile(p)) => return run_profile_cmd(&p),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -244,6 +303,7 @@ fn main() -> ExitCode {
         }
         if args.obs_report {
             let report = qnet_obs::RunReport::capture(id);
+            warn_on_trace_drops(&report, id);
             match qnet_obs::write_report(Path::new("results/obs"), &report) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(e) => {

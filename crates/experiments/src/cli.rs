@@ -48,6 +48,29 @@ pub enum Command {
     /// `repro churn --trials N --failures F`: the survivability battery
     /// (do-nothing vs. repair vs. full re-solve under seeded faults).
     Churn(ChurnArgs),
+    /// `repro profile <scenario>`: run one scenario under full
+    /// instrumentation and emit the perf-attribution report (text, CSV,
+    /// schema-3 run report, Chrome trace).
+    Profile(ProfileArgs),
+}
+
+/// Scenarios the `profile` subcommand accepts.
+pub const PROFILE_SCENARIOS: [&str; 2] = ["paper-default", "waxman-240"];
+
+/// Arguments of the `profile` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileArgs {
+    /// Scenario id (one of [`PROFILE_SCENARIOS`]).
+    pub scenario: String,
+    /// Seed for the profiled solve.
+    pub seed: u64,
+    /// Output directory for the CSVs, report, and trace.
+    pub out: PathBuf,
+    /// Rows shown in the top-by-self-time table.
+    pub top: usize,
+    /// Optional path for the tracked attribution-numbers JSON
+    /// (`BENCH_pr6.json` shape).
+    pub bench_out: Option<PathBuf>,
 }
 
 /// Arguments of the `fuzz` subcommand.
@@ -101,6 +124,9 @@ pub struct ObsDiffArgs {
     pub min_span_us: u64,
     /// Print the table but always exit 0 (CI advisory mode).
     pub warn_only: bool,
+    /// Opt-in gate: fail on histogram p50/p90/p99 drift beyond this
+    /// ratio (`None` keeps quantile movement informational).
+    pub hist_ratio: Option<f64>,
 }
 
 impl ObsDiffArgs {
@@ -110,6 +136,7 @@ impl ObsDiffArgs {
             span_ratio: self.span_ratio,
             counter_ratio: self.counter_ratio,
             min_span_us: self.min_span_us,
+            hist_ratio: self.hist_ratio,
             ..qnet_obs::DiffOptions::default()
         }
     }
@@ -139,7 +166,67 @@ where
         argv.next();
         return parse_churn(argv).map(Command::Churn);
     }
+    if argv.peek().map(String::as_str) == Some("profile") {
+        argv.next();
+        return parse_profile(argv).map(Command::Profile);
+    }
     parse(argv).map(Command::Run)
+}
+
+fn parse_profile<I>(argv: I) -> Result<ProfileArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let usage = || {
+        format!(
+            "usage: repro profile <{}> [--seed S] [--out DIR] [--top N] [--bench-out FILE]",
+            PROFILE_SCENARIOS.join("|")
+        )
+    };
+    let mut scenario: Option<String> = None;
+    let mut seed = 2024u64;
+    let mut out = PathBuf::from("results/profile");
+    let mut top = 15usize;
+    let mut bench_out = None;
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = PathBuf::from(v);
+            }
+            "--top" => {
+                let v = argv.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|e| format!("bad --top: {e}"))?;
+                if top == 0 {
+                    return Err("--top must be positive".into());
+                }
+            }
+            "--bench-out" => {
+                let v = argv.next().ok_or("--bench-out needs a file path")?;
+                bench_out = Some(PathBuf::from(v));
+            }
+            id if PROFILE_SCENARIOS.contains(&id) => {
+                if scenario.is_some() {
+                    return Err("profile takes exactly one scenario".into());
+                }
+                scenario = Some(id.to_string());
+            }
+            other => return Err(format!("unknown profile argument: {other}\n{}", usage())),
+        }
+    }
+    let scenario = scenario.ok_or_else(usage)?;
+    Ok(ProfileArgs {
+        scenario,
+        seed,
+        out,
+        top,
+        bench_out,
+    })
 }
 
 fn parse_churn<I>(argv: I) -> Result<ChurnArgs, String>
@@ -243,6 +330,7 @@ where
     let mut counter_ratio = defaults.counter_ratio;
     let mut min_span_us = defaults.min_span_us;
     let mut warn_only = false;
+    let mut hist_ratio = None;
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -264,6 +352,14 @@ where
                 let v = argv.next().ok_or("--min-span-us needs a value")?;
                 min_span_us = v.parse().map_err(|e| format!("bad --min-span-us: {e}"))?;
             }
+            "--hist-ratio" => {
+                let v = argv.next().ok_or("--hist-ratio needs a value")?;
+                let r: f64 = v.parse().map_err(|e| format!("bad --hist-ratio: {e}"))?;
+                if !r.is_finite() || r <= 1.0 {
+                    return Err("--hist-ratio must be greater than 1".into());
+                }
+                hist_ratio = Some(r);
+            }
             "--warn-only" => warn_only = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown obs-diff flag: {flag}"));
@@ -274,8 +370,8 @@ where
     let [baseline, candidate] = <[PathBuf; 2]>::try_from(paths).map_err(|got| {
         format!(
             "usage: repro obs-diff <baseline.json> <candidate.json> \
-             [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only] \
-             (got {} path(s))",
+             [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--hist-ratio R] \
+             [--warn-only] (got {} path(s))",
             got.len()
         )
     })?;
@@ -286,6 +382,7 @@ where
         counter_ratio,
         min_span_us,
         warn_only,
+        hist_ratio,
     })
 }
 
@@ -587,5 +684,89 @@ mod tests {
         assert!(parse_command(s(&["obs-diff", "a", "b", "--bogus"]))
             .unwrap_err()
             .contains("unknown obs-diff flag"));
+    }
+
+    #[test]
+    fn obs_diff_hist_ratio_is_opt_in() {
+        let c = parse_command(s(&["obs-diff", "a.json", "b.json"])).unwrap();
+        let Command::ObsDiff(d) = c else {
+            panic!("expected ObsDiff, got {c:?}");
+        };
+        assert_eq!(d.hist_ratio, None);
+        assert_eq!(d.options().hist_ratio, None);
+
+        let c = parse_command(s(&["obs-diff", "a.json", "b.json", "--hist-ratio", "2.5"])).unwrap();
+        let Command::ObsDiff(d) = c else {
+            panic!("expected ObsDiff, got {c:?}");
+        };
+        assert_eq!(d.hist_ratio, Some(2.5));
+        assert_eq!(d.options().hist_ratio, Some(2.5));
+
+        assert!(
+            parse_command(s(&["obs-diff", "a", "b", "--hist-ratio", "1.0"]))
+                .unwrap_err()
+                .contains("greater than 1")
+        );
+        assert!(parse_command(s(&["obs-diff", "a", "b", "--hist-ratio"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn profile_parses_scenario_and_defaults() {
+        let c = parse_command(s(&["profile", "paper-default"])).unwrap();
+        let Command::Profile(p) = c else {
+            panic!("expected Profile, got {c:?}");
+        };
+        assert_eq!(p.scenario, "paper-default");
+        assert_eq!(p.seed, 2024);
+        assert_eq!(p.out, PathBuf::from("results/profile"));
+        assert_eq!(p.top, 15);
+        assert_eq!(p.bench_out, None);
+
+        let c = parse_command(s(&[
+            "profile",
+            "--seed",
+            "7",
+            "waxman-240",
+            "--out",
+            "/tmp/prof",
+            "--top",
+            "5",
+            "--bench-out",
+            "BENCH_pr6.json",
+        ]))
+        .unwrap();
+        let Command::Profile(p) = c else {
+            panic!("expected Profile, got {c:?}");
+        };
+        assert_eq!(p.scenario, "waxman-240");
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.out, PathBuf::from("/tmp/prof"));
+        assert_eq!(p.top, 5);
+        assert_eq!(p.bench_out, Some(PathBuf::from("BENCH_pr6.json")));
+    }
+
+    #[test]
+    fn profile_rejects_bad_invocations() {
+        assert!(parse_command(s(&["profile"]))
+            .unwrap_err()
+            .contains("usage: repro profile"));
+        assert!(parse_command(s(&["profile", "nonsense"]))
+            .unwrap_err()
+            .contains("unknown profile argument"));
+        assert!(
+            parse_command(s(&["profile", "paper-default", "waxman-240"]))
+                .unwrap_err()
+                .contains("exactly one scenario")
+        );
+        assert!(
+            parse_command(s(&["profile", "paper-default", "--top", "0"]))
+                .unwrap_err()
+                .contains("positive")
+        );
+        assert!(parse_command(s(&["profile", "paper-default", "--seed"]))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 }

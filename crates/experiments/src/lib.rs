@@ -37,6 +37,7 @@ pub mod churn;
 pub mod cli;
 pub mod convergence;
 pub mod figures;
+pub mod profile;
 pub mod runner;
 pub mod suite;
 pub mod table;

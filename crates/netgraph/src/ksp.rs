@@ -82,6 +82,7 @@ where
     FR: Fn(NodeId) -> bool,
 {
     qnet_obs::counter!("graph.ksp.calls");
+    let _span = qnet_obs::span!("graph.ksp.solve");
     if k == 0 || source == target {
         return Vec::new();
     }
@@ -106,6 +107,9 @@ where
     accepted.push(first);
 
     while accepted.len() < k {
+        // One spur round: every prefix position of the latest accepted
+        // path. The nested dijkstra spans attribute the round's cost.
+        let _round = qnet_obs::span!("graph.ksp.spur_round");
         let prev = accepted.last().expect("at least one accepted path");
         root_cost.clear();
         root_cost.push(0.0);

@@ -158,6 +158,7 @@ impl DijkstraWorkspace {
     /// Starts a new run over `n` vertices: O(1) unless buffers must grow
     /// or the 32-bit generation wraps (once per ~4 billion runs).
     fn begin(&mut self, n: usize) {
+        qnet_obs::counter!("graph.workspace.runs");
         self.grow(n);
         self.active_len = n;
         self.heap.clear();
@@ -171,7 +172,10 @@ impl DijkstraWorkspace {
     fn grow(&mut self, n: usize) {
         if n > self.stamp.len() {
             // Stamp 0 can never equal the post-`begin` generation (≥ 1),
-            // so fresh slots always read as untouched.
+            // so fresh slots always read as untouched. Growth is the
+            // arena's only allocation; `runs − grown` over `runs` is
+            // the zero-alloc reuse rate the profile report prints.
+            qnet_obs::counter!("graph.workspace.grown");
             self.stamp.resize(n, 0);
             self.dist.resize(n, f64::INFINITY);
             self.prev.resize(n, None);
@@ -385,6 +389,7 @@ where
     FR: Fn(NodeId) -> bool,
 {
     qnet_obs::counter!("graph.dijkstra.calls");
+    let _span = qnet_obs::span!("graph.dijkstra.run");
     ws.begin(g.node_count());
     ws.source = source;
     // Tally locally; flush once at the end so the hot loop stays free of

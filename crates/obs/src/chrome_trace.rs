@@ -1,0 +1,291 @@
+//! Chrome/Perfetto trace export.
+//!
+//! Renders a [`RunReport`]'s span tree plus the flight-recorder ring as
+//! a Chrome trace-event JSON file (the `{"traceEvents": [...]}` shape
+//! consumed by `ui.perfetto.dev` and `chrome://tracing`):
+//!
+//! * every span becomes a `B`/`E` duration-event pair on its recording
+//!   thread's track, emitted by a parent-link tree walk so begin/end
+//!   pairs are well nested even when microsecond timestamps tie;
+//! * every flight-recorder event becomes a thread-scoped instant (`i`)
+//!   at its recorded `ts_us`, with the event payload under `args` — the
+//!   solver's decision points land *inside* the span that made them,
+//!   because spans and trace events share one timebase;
+//! * `M` metadata events name the process and one track per thread.
+//!
+//! The export is diagnostic output, not a stable schema: the golden
+//! fixture in `tests/chrome_trace.rs` pins only the trace-event
+//! *envelope* (required `ph`/`ts`/`pid`/`tid` fields and B/E balance).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::report::RunReport;
+use crate::trace::Stamped;
+
+/// Synthetic process id used for every emitted event (single-process
+/// runs; Perfetto requires *a* pid, not a meaningful one).
+const PID: u64 = 1;
+
+fn event(ph: &str, name: &str, ts: u64, tid: u64) -> serde_json::Map<String, Value> {
+    let mut m = serde_json::Map::new();
+    m.insert("name".into(), Value::from(name));
+    m.insert("ph".into(), Value::from(ph));
+    m.insert("ts".into(), Value::from(ts));
+    m.insert("pid".into(), Value::from(PID));
+    m.insert("tid".into(), Value::from(tid));
+    m
+}
+
+fn metadata(name: &str, tid: u64, arg_name: &str, arg_value: String) -> Value {
+    let mut m = event("M", name, 0, tid);
+    let mut args = serde_json::Map::new();
+    args.insert(arg_name.into(), Value::from(arg_value));
+    m.insert("args".into(), Value::Object(args));
+    Value::Object(m)
+}
+
+/// Emits `span` (begin, children, end) into `out`. `end_floor` is the
+/// enclosing span's end timestamp; a child whose recorded end overshoots
+/// it (clock jitter between the two `Instant` reads) is clamped so the
+/// B/E stream stays monotone per track.
+fn emit_span(
+    report: &RunReport,
+    children: &[Vec<usize>],
+    index: usize,
+    end_floor: u64,
+    out: &mut Vec<Value>,
+) {
+    let span = &report.spans[index];
+    let end = (span.start_us + span.duration_us).min(end_floor);
+    let start = span.start_us.min(end);
+    out.push(Value::Object(event("B", &span.name, start, span.thread)));
+    for &child in &children[index] {
+        emit_span(report, children, child, end, out);
+    }
+    out.push(Value::Object(event("E", &span.name, end, span.thread)));
+}
+
+/// Renders `report`'s spans plus the flight-recorder `events` as a
+/// Chrome trace-event JSON value (`{"traceEvents": [...],
+/// "displayTimeUnit": "ms"}`). Timestamps are microseconds since the
+/// process obs epoch, the native unit of the format.
+pub fn chrome_trace_value(report: &RunReport, events: &[Stamped]) -> Value {
+    let n = report.spans.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in report.spans.iter().enumerate() {
+        match span.parent {
+            // Forward or self links never come out of the span stack;
+            // treat a malformed one as a root rather than panicking on
+            // diagnostic output.
+            Some(p) if p < i => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+
+    let mut out: Vec<Value> = Vec::with_capacity(2 * n + events.len() + 8);
+    out.push(metadata("process_name", 0, "name", "muerp".into()));
+    let mut tids: Vec<u64> = report
+        .spans
+        .iter()
+        .map(|s| s.thread)
+        .chain(events.iter().map(|e| e.thread))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        out.push(metadata(
+            "thread_name",
+            tid,
+            "name",
+            format!("obs-thread-{tid}"),
+        ));
+    }
+
+    for &root in &roots {
+        emit_span(report, &children, root, u64::MAX, &mut out);
+    }
+
+    for stamped in events {
+        let mut m = event("i", stamped.event.kind(), stamped.ts_us, stamped.thread);
+        m.insert("s".into(), Value::from("t"));
+        let mut args = stamped.event.to_json();
+        if let Value::Object(a) = &mut args {
+            a.insert("seq".into(), Value::from(stamped.seq));
+        }
+        m.insert("args".into(), args);
+        out.push(Value::Object(m));
+    }
+
+    let mut root = serde_json::Map::new();
+    root.insert("traceEvents".into(), Value::Array(out));
+    root.insert("displayTimeUnit".into(), Value::from("ms"));
+    Value::Object(root)
+}
+
+/// Writes [`chrome_trace_value`] to `<dir>/<run>.trace.json` (creating
+/// `dir`), sanitizing the run name like [`crate::write_report`].
+/// Returns the written path; drag the file onto `ui.perfetto.dev` to
+/// inspect it.
+pub fn write_chrome_trace(
+    dir: &Path,
+    run: &str,
+    report: &RunReport,
+    events: &[Stamped],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stem: String = run
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{stem}.trace.json"));
+    let value = chrome_trace_value(report, events);
+    let text = serde_json::to_string_pretty(&value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SpanSnapshot;
+    use crate::trace::TraceEvent;
+    use crate::SCHEMA_VERSION;
+
+    fn report() -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            run: "chrome".into(),
+            level: "trace".into(),
+            spans: vec![
+                SpanSnapshot {
+                    name: "a.root".into(),
+                    parent: None,
+                    thread: 1,
+                    start_us: 10,
+                    duration_us: 100,
+                },
+                SpanSnapshot {
+                    name: "a.child".into(),
+                    parent: Some(0),
+                    thread: 1,
+                    start_us: 20,
+                    // Overshoots the parent's end by 30µs; the export
+                    // clamps it back inside.
+                    duration_us: 120,
+                },
+                SpanSnapshot {
+                    name: "b.other_thread".into(),
+                    parent: None,
+                    thread: 2,
+                    start_us: 15,
+                    duration_us: 5,
+                },
+            ],
+            counters: vec![],
+            histograms: vec![],
+            profile: None,
+        }
+    }
+
+    fn events() -> Vec<Stamped> {
+        vec![Stamped {
+            seq: 0,
+            ts_us: 42,
+            thread: 1,
+            event: TraceEvent::BeamRound {
+                round: 1,
+                expanded: 9,
+                kept: 3,
+            },
+        }]
+    }
+
+    fn trace_events(v: &Value) -> &Vec<Value> {
+        v.get("traceEvents").unwrap().as_array().unwrap()
+    }
+
+    #[test]
+    fn begin_end_pairs_balance_per_thread_and_nest() {
+        let v = chrome_trace_value(&report(), &events());
+        let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+        let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+        for ev in trace_events(&v) {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            let tid = ev.get("tid").unwrap().as_u64().unwrap();
+            let ts = ev.get("ts").unwrap().as_u64().unwrap();
+            match ph {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => {
+                    *depth.entry(tid).or_default() -= 1;
+                    assert!(depth[&tid] >= 0, "E without matching B on tid {tid}");
+                }
+                _ => continue,
+            }
+            let prev = last_ts.entry(tid).or_insert(0);
+            assert!(ts >= *prev, "B/E stream must be monotone per track");
+            *prev = ts;
+        }
+        assert!(depth.values().all(|&d| d == 0), "every B is closed");
+    }
+
+    #[test]
+    fn child_end_is_clamped_into_its_parent() {
+        let v = chrome_trace_value(&report(), &[]);
+        let ends: Vec<u64> = trace_events(&v)
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        // Tree walk emits child E before parent E: child clamped to 110.
+        assert!(ends.contains(&110));
+        assert_eq!(ends.iter().filter(|&&t| t == 110).count(), 2);
+    }
+
+    #[test]
+    fn instants_carry_payload_and_thread_scope() {
+        let v = chrome_trace_value(&report(), &events());
+        let inst: Vec<&Value> = trace_events(&v)
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .collect();
+        assert_eq!(inst.len(), 1);
+        let i = inst[0];
+        assert_eq!(i.get("name").and_then(|n| n.as_str()), Some("beam_round"));
+        assert_eq!(i.get("ts").unwrap().as_u64(), Some(42));
+        assert_eq!(i.get("s").and_then(|s| s.as_str()), Some("t"));
+        let args = i.get("args").unwrap();
+        assert_eq!(args.get("expanded").unwrap().as_u64(), Some(9));
+        assert_eq!(args.get("seq").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn metadata_names_process_and_every_thread_track() {
+        let v = chrome_trace_value(&report(), &events());
+        let meta: Vec<&Value> = trace_events(&v)
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert!(meta
+            .iter()
+            .any(|m| m.get("name").and_then(|n| n.as_str()) == Some("process_name")));
+        let tids: Vec<u64> = meta
+            .iter()
+            .filter(|m| m.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .map(|m| m.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![1, 2]);
+    }
+}

@@ -38,6 +38,12 @@ pub struct DiffOptions {
     /// Treat a metric name present in the baseline but missing from the
     /// candidate as a regression (default true).
     pub fail_on_missing: bool,
+    /// When set, a histogram regresses when any of its p50/p90/p99
+    /// summary quantiles drifts beyond this ratio in either direction
+    /// (`repro obs-diff --hist-ratio`). Default `None`: quantile
+    /// movement stays informational, as histogram estimates are
+    /// octave-granular.
+    pub hist_ratio: Option<f64>,
 }
 
 impl Default for DiffOptions {
@@ -47,6 +53,7 @@ impl Default for DiffOptions {
             counter_ratio: 2.0,
             min_span_us: 20_000,
             fail_on_missing: true,
+            hist_ratio: None,
         }
     }
 }
@@ -312,9 +319,10 @@ pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, opts: &DiffOpti
         }
     }
 
-    // Histograms: count plus the summary quantiles, context only —
-    // quantile movement is interesting but octave-granular, so it never
-    // fails the gate by itself (missing names do, like any metric).
+    // Histograms: count plus the summary quantiles. Context only by
+    // default — quantile movement is interesting but octave-granular —
+    // unless `hist_ratio` opts into gating on quantile drift (missing
+    // names fail regardless, like any metric).
     let base_hists: BTreeMap<&str, &crate::HistogramSnapshot> = baseline
         .histograms
         .iter()
@@ -343,6 +351,15 @@ pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, opts: &DiffOpti
                 if cand.count != base.count
                     || (cand.p50, cand.p90, cand.p99) != (base.p50, base.p90, base.p99) =>
             {
+                let quantile_regressed = opts.hist_ratio.is_some_and(|ratio| {
+                    [
+                        (base.p50, cand.p50),
+                        (base.p90, cand.p90),
+                        (base.p99, cand.p99),
+                    ]
+                    .iter()
+                    .any(|&(b, c)| drifted(b, c, ratio))
+                });
                 entries.push(DiffEntry {
                     kind: DiffKind::Histogram,
                     name: name.to_string(),
@@ -354,8 +371,16 @@ pub fn diff_reports(baseline: &RunReport, candidate: &RunReport, opts: &DiffOpti
                         "n={} p50={:.0} p90={:.0} p99={:.0}",
                         cand.count, cand.p50, cand.p90, cand.p99
                     ),
-                    note: "distribution moved".to_string(),
-                    severity: Severity::Info,
+                    note: if quantile_regressed {
+                        "quantile drift beyond --hist-ratio".to_string()
+                    } else {
+                        "distribution moved".to_string()
+                    },
+                    severity: if quantile_regressed {
+                        Severity::Regression
+                    } else {
+                        Severity::Info
+                    },
                 });
             }
             Some(_) => {}
@@ -412,6 +437,7 @@ mod tests {
                 })
                 .collect(),
             histograms: vec![],
+            profile: None,
         }
     }
 
@@ -501,6 +527,36 @@ mod tests {
         assert_eq!(entry.kind, DiffKind::Histogram);
         assert!(entry.baseline.contains("p99=16"));
         assert!(entry.candidate.contains("p99=60"));
+    }
+
+    #[test]
+    fn hist_ratio_gates_quantile_drift_when_opted_in() {
+        let mut base = report(vec![], vec![]);
+        base.histograms.push(HistogramSnapshot {
+            key: "sim.slot.us".into(),
+            count: 10,
+            sum: 100,
+            mean: 10.0,
+            p50: 8.0,
+            p90: 14.0,
+            p99: 16.0,
+            buckets: vec![(4, 10)],
+        });
+        let mut cand = base.clone();
+        cand.histograms[0].p99 = 60.0; // 3.75x drift
+        let gated = DiffOptions {
+            hist_ratio: Some(2.0),
+            ..DiffOptions::default()
+        };
+        let d = diff_reports(&base, &cand, &gated);
+        assert!(d.has_regressions(), "p99 drift beyond 2x fails the gate");
+        assert!(d.entries[0].note.contains("--hist-ratio"));
+        // Within the ratio the same option stays quiet.
+        cand.histograms[0].p99 = 20.0;
+        assert!(!diff_reports(&base, &cand, &gated).has_regressions());
+        // Shrink direction is symmetric.
+        cand.histograms[0].p99 = 4.0;
+        assert!(diff_reports(&base, &cand, &gated).has_regressions());
     }
 
     #[test]

@@ -53,24 +53,35 @@
 //! assert!(serde_json::to_string(&json).unwrap().contains("docs.example.solve"));
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the one `GlobalAlloc` impl the
+// `alloc-profile` feature brings in (see `alloc.rs`).
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
+mod chrome_trace;
 mod diff;
 mod level;
+mod profile;
 mod registry;
 mod report;
 mod span;
 mod trace;
 
+#[cfg(feature = "alloc-profile")]
+pub use alloc::CountingAllocator;
+pub use alloc::{alloc_profiling_compiled, peak_rss_bytes, AllocScope};
+pub use chrome_trace::{chrome_trace_value, write_chrome_trace};
 pub use diff::{diff_reports, DiffEntry, DiffKind, DiffOptions, ReportDiff, Severity};
 pub use level::{enabled, level, set_level, ObsLevel};
+pub use profile::{AllocSummary, ProfileRow, ProfileSection};
 pub use registry::{
     global, quantiles_from_buckets, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
     MetricKey, Registry,
 };
 pub use report::{write_report, RunReport, SpanSnapshot, SCHEMA_VERSION};
-pub use span::{enter, reset_spans, SpanGuard};
+pub use span::{enter, reset_spans, SpanGuard, DEFAULT_SPAN_CAP};
 pub use trace::{
     record_event, recorder, reset_trace, set_trace_capacity, trace_enabled, trace_snapshot,
     write_trace_jsonl, FlightRecorder, Stamped, TraceEvent, DEFAULT_TRACE_CAPACITY,

@@ -1,0 +1,255 @@
+//! Perf attribution over the span tree.
+//!
+//! Turns the flat span list of a [`RunReport`] into per-phase cost
+//! rows: for every span name, how many spans ran, their **total** time
+//! (wall time with children included) and their **self** time (total
+//! minus the direct children — the time the phase spent in its own
+//! code). Self time is the partition that adds up: summed over the
+//! whole tree it equals the root spans' wall time, so an attribution
+//! table built from it accounts for (approximately) 100% of a run.
+//!
+//! The resulting [`ProfileSection`] rides inside schema-version-3 run
+//! reports, next to the optional allocation tallies from
+//! [`crate::alloc`].
+
+use serde_json::Value;
+
+use crate::report::SpanSnapshot;
+
+/// Aggregated cost of one span name (one "phase").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name (`<crate>.<component>.<name>`).
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Summed duration including children, microseconds. Nested spans
+    /// of the *same* name each contribute, so recursive phases can
+    /// exceed wall time — self time is the additive column.
+    pub total_us: u64,
+    /// Summed duration minus direct children, microseconds.
+    pub self_us: u64,
+}
+
+/// Allocation tallies for one profiled scope (only populated when the
+/// `alloc-profile` feature and its counting global allocator are in).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSummary {
+    /// Number of heap allocations.
+    pub allocs: u64,
+    /// Total bytes requested across those allocations.
+    pub bytes: u64,
+    /// Peak live heap bytes observed during the scope.
+    pub peak_bytes: u64,
+}
+
+/// The per-phase attribution section of a schema-version-3 report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileSection {
+    /// One row per distinct span name, sorted by name (deterministic
+    /// serialization; sort by `self_us` at display time).
+    pub rows: Vec<ProfileRow>,
+    /// Summed duration of all root spans, microseconds — the wall time
+    /// the attribution should account for.
+    pub root_total_us: u64,
+    /// Summed self time across every span, microseconds. Coverage is
+    /// `attributed_us / root_total_us`.
+    pub attributed_us: u64,
+    /// Allocation tallies for the profiled scope, when counted.
+    pub alloc: Option<AllocSummary>,
+    /// Process peak RSS in bytes (from `/proc/self/status` `VmHWM`),
+    /// when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl ProfileSection {
+    /// Builds the attribution from a report's spans. Open spans
+    /// (duration 0) contribute nothing; a child longer than its parent
+    /// (clock jitter between `Instant` reads) saturates the parent's
+    /// self time at 0 instead of wrapping.
+    pub fn from_spans(spans: &[SpanSnapshot]) -> ProfileSection {
+        let mut child_us = vec![0u64; spans.len()];
+        let mut root_total_us = 0u64;
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if p < i => child_us[p] += s.duration_us,
+                _ => root_total_us += s.duration_us,
+            }
+        }
+        let mut by_name: std::collections::BTreeMap<&str, ProfileRow> = Default::default();
+        let mut attributed_us = 0u64;
+        for (i, s) in spans.iter().enumerate() {
+            let self_us = s.duration_us.saturating_sub(child_us[i]);
+            attributed_us += self_us;
+            let row = by_name
+                .entry(s.name.as_str())
+                .or_insert_with(|| ProfileRow {
+                    name: s.name.clone(),
+                    count: 0,
+                    total_us: 0,
+                    self_us: 0,
+                });
+            row.count += 1;
+            row.total_us += s.duration_us;
+            row.self_us += self_us;
+        }
+        ProfileSection {
+            rows: by_name.into_values().collect(),
+            root_total_us,
+            attributed_us,
+            alloc: None,
+            peak_rss_bytes: None,
+        }
+    }
+
+    /// Fraction of root wall time the self-time rows account for, in
+    /// `[0, 1]`-ish (jitter can push it past 1). 1.0 for an empty run.
+    pub fn coverage(&self) -> f64 {
+        if self.root_total_us == 0 {
+            1.0
+        } else {
+            self.attributed_us as f64 / self.root_total_us as f64
+        }
+    }
+
+    /// The section as a JSON value (the `"profile"` key of a v3
+    /// report).
+    pub fn to_json(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "rows".into(),
+            Value::Array(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        let mut row = serde_json::Map::new();
+                        row.insert("name".into(), Value::from(r.name.as_str()));
+                        row.insert("count".into(), Value::from(r.count));
+                        row.insert("total_us".into(), Value::from(r.total_us));
+                        row.insert("self_us".into(), Value::from(r.self_us));
+                        Value::Object(row)
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert("root_total_us".into(), Value::from(self.root_total_us));
+        m.insert("attributed_us".into(), Value::from(self.attributed_us));
+        m.insert(
+            "alloc".into(),
+            self.alloc.map_or(Value::Null, |a| {
+                let mut alloc = serde_json::Map::new();
+                alloc.insert("allocs".into(), Value::from(a.allocs));
+                alloc.insert("bytes".into(), Value::from(a.bytes));
+                alloc.insert("peak_bytes".into(), Value::from(a.peak_bytes));
+                Value::Object(alloc)
+            }),
+        );
+        m.insert(
+            "peak_rss_bytes".into(),
+            self.peak_rss_bytes.map_or(Value::Null, Value::from),
+        );
+        Value::Object(m)
+    }
+
+    /// Inverse of [`ProfileSection::to_json`]; `None` when the shape
+    /// does not match.
+    pub fn from_json(v: &Value) -> Option<ProfileSection> {
+        let rows = v
+            .get("rows")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                Some(ProfileRow {
+                    name: r.get("name")?.as_str()?.to_string(),
+                    count: r.get("count")?.as_u64()?,
+                    total_us: r.get("total_us")?.as_u64()?,
+                    self_us: r.get("self_us")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let alloc = match v.get("alloc")? {
+            Value::Null => None,
+            a => Some(AllocSummary {
+                allocs: a.get("allocs")?.as_u64()?,
+                bytes: a.get("bytes")?.as_u64()?,
+                peak_bytes: a.get("peak_bytes")?.as_u64()?,
+            }),
+        };
+        let peak_rss_bytes = match v.get("peak_rss_bytes")? {
+            Value::Null => None,
+            n => Some(n.as_u64()?),
+        };
+        Some(ProfileSection {
+            rows,
+            root_total_us: v.get("root_total_us")?.as_u64()?,
+            attributed_us: v.get("attributed_us")?.as_u64()?,
+            alloc,
+            peak_rss_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, parent: Option<usize>, start_us: u64, duration_us: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            name: name.into(),
+            parent,
+            thread: 1,
+            start_us,
+            duration_us,
+        }
+    }
+
+    #[test]
+    fn self_time_partitions_root_wall_time() {
+        // root(100) -> a(60) -> b(25), root -> a(30); plus a second
+        // root(10) on its own.
+        let spans = vec![
+            span("root", None, 0, 100),
+            span("a", Some(0), 5, 60),
+            span("b", Some(1), 10, 25),
+            span("a", Some(0), 70, 30),
+            span("root2", None, 200, 10),
+        ];
+        let p = ProfileSection::from_spans(&spans);
+        assert_eq!(p.root_total_us, 110);
+        assert_eq!(p.attributed_us, 110, "self times sum to root wall time");
+        assert!((p.coverage() - 1.0).abs() < 1e-12);
+        let a = p.rows.iter().find(|r| r.name == "a").unwrap();
+        assert_eq!((a.count, a.total_us, a.self_us), (2, 90, 65));
+        let root = p.rows.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(root.self_us, 100 - 60 - 30);
+    }
+
+    #[test]
+    fn overlong_children_saturate_instead_of_wrapping() {
+        let spans = vec![span("root", None, 0, 10), span("a", Some(0), 0, 25)];
+        let p = ProfileSection::from_spans(&spans);
+        let root = p.rows.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(root.self_us, 0);
+        assert_eq!(p.attributed_us, 25);
+    }
+
+    #[test]
+    fn json_round_trips_with_and_without_alloc() {
+        let mut p = ProfileSection::from_spans(&[span("root", None, 0, 10)]);
+        assert_eq!(ProfileSection::from_json(&p.to_json()).unwrap(), p);
+        p.alloc = Some(AllocSummary {
+            allocs: 12,
+            bytes: 4096,
+            peak_bytes: 2048,
+        });
+        p.peak_rss_bytes = Some(1 << 20);
+        assert_eq!(ProfileSection::from_json(&p.to_json()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_run_has_full_coverage() {
+        let p = ProfileSection::from_spans(&[]);
+        assert_eq!(p.coverage(), 1.0);
+        assert!(p.rows.is_empty());
+    }
+}

@@ -169,9 +169,12 @@ pub struct HistogramSnapshot {
 ///
 /// The rank of quantile `q` is `ceil(q·count)` (1-based); the estimate
 /// interpolates linearly inside the bucket holding that rank, whose
-/// value range is `[2^(i-1), 2^i)` (bucket 0 is exactly 0). Bounded by
-/// construction to at most one octave of error — the price of sparse
-/// fixed-size buckets over full sample retention.
+/// value range is `[2^(i-1), 2^i)` (bucket 0 is exactly 0). Samples are
+/// integers, so the interpolation targets the bucket's largest
+/// *attainable* value `2^i − 1`, never the exclusive upper edge — a
+/// single-bucket histogram of all-ones therefore reports exactly 1, not
+/// 2. Bounded by construction to at most one octave of error — the
+/// price of sparse fixed-size buckets over full sample retention.
 pub fn quantiles_from_buckets(count: u64, buckets: &[(usize, u64)]) -> (f64, f64, f64) {
     if count == 0 {
         return (0.0, 0.0, 0.0);
@@ -185,17 +188,17 @@ pub fn quantiles_from_buckets(count: u64, buckets: &[(usize, u64)]) -> (f64, f64
                     return 0.0;
                 }
                 let lo = (1u128 << (i - 1)) as f64;
-                let hi = (1u128 << i) as f64;
+                let hi = ((1u128 << i) - 1) as f64;
                 let into = (rank - seen) as f64 / n as f64;
                 return lo + into * (hi - lo);
             }
             seen += n;
         }
         // Ranks beyond the recorded mass (impossible when count matches
-        // the bucket totals): the top bucket's upper edge.
+        // the bucket totals): the top bucket's largest attainable value.
         buckets
             .last()
-            .map_or(0.0, |&(i, _)| (1u128 << i.min(127)) as f64)
+            .map_or(0.0, |&(i, _)| ((1u128 << i.min(127)) - 1) as f64)
     };
     (one(0.50), one(0.90), one(0.99))
 }
@@ -385,11 +388,41 @@ mod tests {
         let buckets = [(0usize, 50u64), (4, 40), (10, 10)];
         let (p50, p90, p99) = quantiles_from_buckets(100, &buckets);
         assert_eq!(p50, 0.0, "rank 50 lands on the zero bucket");
-        // Rank 90 is the last of bucket 4 → its upper edge.
-        assert_eq!(p90, 16.0);
+        // Rank 90 is the last of bucket 4 → its largest attainable
+        // value (15; the exclusive edge 16 is not a sample).
+        assert_eq!(p90, 15.0);
         // Rank 99 is 9/10 into bucket 10: 512 + 0.9·512.
-        assert!((p99 - (512.0 + 0.9 * 512.0)).abs() < 1e-9);
+        assert!((p99 - (512.0 + 0.9 * 511.0)).abs() < 1e-9);
         assert_eq!(quantiles_from_buckets(0, &[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn single_bucket_of_identical_samples_reports_that_value() {
+        // n samples that are all exactly 1 live alone in bucket 1
+        // ([1,2)); every quantile must come back as 1, not as the
+        // bucket's exclusive upper edge 2.
+        for n in [1u64, 2, 100] {
+            let (p50, p90, p99) = quantiles_from_buckets(n, &[(1, n)]);
+            assert_eq!((p50, p90, p99), (1.0, 1.0, 1.0), "n={n}");
+        }
+        // A lone sample anywhere interpolates to its bucket's largest
+        // attainable value.
+        let (p50, p90, p99) = quantiles_from_buckets(1, &[(4, 1)]);
+        assert_eq!((p50, p90, p99), (15.0, 15.0, 15.0));
+    }
+
+    #[test]
+    fn empty_histogram_edges_are_total_functions() {
+        // count 0 with stray buckets, and count > 0 with no buckets
+        // (an impossible-but-seen shape in hand-edited baselines): both
+        // must return finite estimates, not panic or NaN.
+        assert_eq!(quantiles_from_buckets(0, &[(3, 4)]), (0.0, 0.0, 0.0));
+        let (p50, p90, p99) = quantiles_from_buckets(5, &[]);
+        assert_eq!((p50, p90, p99), (0.0, 0.0, 0.0));
+        // Count larger than the bucket mass: overflow ranks fall back
+        // to the top bucket's largest attainable value.
+        let (_, _, p99) = quantiles_from_buckets(100, &[(1, 1)]);
+        assert_eq!(p99, 1.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use serde_json::Value;
 
 use crate::level;
+use crate::profile::ProfileSection;
 use crate::registry::{global, quantiles_from_buckets, CounterSnapshot, HistogramSnapshot};
 use crate::span::snapshot_spans;
 
@@ -16,11 +17,14 @@ use crate::span::snapshot_spans;
 ///   histograms without summary quantiles.
 /// * **2** — explicit `schema_version`; histograms carry `p50`/`p90`/
 ///   `p99`.
+/// * **3** — optional `profile` section (per-phase attribution rows,
+///   allocation tallies, peak RSS; see [`ProfileSection`]).
 ///
 /// [`RunReport::from_json`] accepts any version up to this one and
 /// migrates older shapes on read (missing quantiles are recomputed from
-/// the buckets), so `obs-diff` can compare reports across versions.
-pub const SCHEMA_VERSION: u32 = 2;
+/// the buckets; a pre-3 report simply has no profile section), so
+/// `obs-diff` can compare reports across versions.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A span as it appears in a run report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +60,10 @@ pub struct RunReport {
     pub counters: Vec<CounterSnapshot>,
     /// Non-empty histograms, sorted by key.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Per-phase attribution (schema 3; `None` on plain captures and
+    /// migrated pre-3 reports). Attached by `repro profile` via
+    /// [`RunReport::with_profile`].
+    pub profile: Option<ProfileSection>,
 }
 
 impl RunReport {
@@ -81,7 +89,16 @@ impl RunReport {
                 .collect(),
             counters: reg.counter_snapshots(),
             histograms: reg.histogram_snapshots(),
+            profile: None,
         }
+    }
+
+    /// Attaches a [`ProfileSection`] built from this report's own spans
+    /// (self/total attribution), leaving alloc and RSS fields for the
+    /// caller to fill in.
+    pub fn with_profile(mut self) -> RunReport {
+        self.profile = Some(ProfileSection::from_spans(&self.spans));
+        self
     }
 
     /// Total across every counter whose metric name (label stripped)
@@ -169,6 +186,12 @@ impl RunReport {
                     .collect(),
             ),
         );
+        root.insert(
+            "profile".into(),
+            self.profile
+                .as_ref()
+                .map_or(Value::Null, ProfileSection::to_json),
+        );
         Value::Object(root)
     }
 
@@ -253,6 +276,12 @@ impl RunReport {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
+        // Pre-3 reports have no profile key; a v3 report may carry
+        // `null`. A present-but-malformed section fails the parse.
+        let profile = match v.get("profile") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(ProfileSection::from_json(p)?),
+        };
         Some(RunReport {
             schema_version,
             run: v.get("run")?.as_str()?.to_string(),
@@ -260,6 +289,7 @@ impl RunReport {
             spans,
             counters,
             histograms,
+            profile,
         })
     }
 }
@@ -329,6 +359,22 @@ mod tests {
                 p99: 6.0,
                 buckets: vec![(2, 1), (3, 2)],
             }],
+            profile: Some(crate::profile::ProfileSection {
+                rows: vec![crate::profile::ProfileRow {
+                    name: "a.b.c".into(),
+                    count: 1,
+                    total_us: 40,
+                    self_us: 28,
+                }],
+                root_total_us: 40,
+                attributed_us: 40,
+                alloc: Some(crate::profile::AllocSummary {
+                    allocs: 3,
+                    bytes: 256,
+                    peak_bytes: 128,
+                }),
+                peak_rss_bytes: Some(1 << 21),
+            }),
         };
         let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
         let parsed = serde_json::from_str(&text).expect("report JSON parses");
@@ -338,6 +384,7 @@ mod tests {
         assert_eq!(back.spans, report.spans);
         assert_eq!(back.counters, report.counters);
         assert_eq!(back.histograms, report.histograms);
+        assert_eq!(back.profile, report.profile);
     }
 
     #[test]
@@ -384,6 +431,7 @@ mod tests {
             spans: vec![],
             counters: vec![],
             histograms: vec![],
+            profile: None,
         }
         .to_json();
         if let Value::Object(m) = &mut v {
@@ -421,6 +469,7 @@ mod tests {
                 },
             ],
             histograms: vec![],
+            profile: None,
         };
         assert_eq!(report.counter_total("c.ch.rejected"), 6);
     }
@@ -435,6 +484,7 @@ mod tests {
             spans: vec![],
             counters: vec![],
             histograms: vec![],
+            profile: None,
         };
         let path = write_report(&dir, &report).expect("write succeeds");
         assert_eq!(path.file_name().unwrap().to_str().unwrap(), "fig_7_b.json");

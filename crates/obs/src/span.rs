@@ -1,9 +1,18 @@
 //! Hierarchical timing spans.
 //!
 //! A span records a name, its parent span, the owning thread, and a
-//! monotonic start/duration pair. Spans only exist at
-//! [`ObsLevel::Full`]; below that, [`enter`] returns an inert guard
-//! without touching any shared state.
+//! monotonic start/duration pair. Parent links come from a
+//! *thread-local span stack*: [`enter`] pushes the new span as the
+//! thread's innermost open span, and the guard's drop pops it back to
+//! whatever was innermost before — so a span's parent is always a span
+//! opened earlier **on the same thread**, never a span from another
+//! thread (`tests/span_tree.rs` hammers this under concurrency).
+//!
+//! Spans only exist at [`ObsLevel::Full`]; below that, [`enter`] returns
+//! an inert guard without touching any shared state. The store is
+//! bounded: past `MUERP_OBS_SPAN_CAP` records (default
+//! [`DEFAULT_SPAN_CAP`]) new spans are dropped and tallied under the
+//! `obs.spans.dropped` counter instead of growing without limit.
 
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -12,6 +21,10 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::level::{enabled, ObsLevel};
+
+/// Default cap on stored span records; override with
+/// `MUERP_OBS_SPAN_CAP`.
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
 
 /// One finished (or still-open) span as stored in the collector.
 #[derive(Clone, Debug)]
@@ -31,6 +44,7 @@ pub(crate) struct SpanRecord {
 struct Store {
     spans: Mutex<Vec<SpanRecord>>,
     epoch: Instant,
+    cap: usize,
 }
 
 fn store() -> &'static Store {
@@ -38,6 +52,11 @@ fn store() -> &'static Store {
     STORE.get_or_init(|| Store {
         spans: Mutex::new(Vec::new()),
         epoch: Instant::now(),
+        cap: std::env::var("MUERP_OBS_SPAN_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SPAN_CAP)
+            .max(1),
     })
 }
 
@@ -57,55 +76,106 @@ fn thread_id() -> u64 {
     })
 }
 
+/// The obs-internal id of the calling thread (also stamped onto spans
+/// and trace events recorded by this thread).
+pub(crate) fn current_thread_id() -> u64 {
+    thread_id()
+}
+
+/// Microseconds elapsed since the process obs epoch — the shared
+/// timebase of span `start_us` offsets and trace-event timestamps.
+pub(crate) fn micros_since_epoch() -> u64 {
+    Instant::now().duration_since(store().epoch).as_micros() as u64
+}
+
 /// Guard returned by [`enter`]; ends the span when dropped.
 ///
-/// The inert form (level below `Full`) carries no state and its drop is
-/// a no-op.
+/// The inert form (level below `Full`, or a capped-out store) carries no
+/// state and its drop is a no-op.
 #[must_use = "a span ends when its guard drops; bind it to a variable"]
 pub struct SpanGuard {
-    /// `Some((index, start))` when the span is live.
-    live: Option<(usize, Instant)>,
+    /// Live state when the span was actually recorded.
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    /// Index of this span's record in the store.
+    index: usize,
+    /// Start instant (duration source; `start_us` is derived separately).
+    start: Instant,
+    /// The thread's innermost open span when this one was entered; the
+    /// drop restores it, popping the thread-local span stack.
+    prev: Option<usize>,
+    /// Thread the span was opened on. A guard that migrates to another
+    /// thread (scoped-thread moves, async executors) still closes its
+    /// span, but must not touch the *other* thread's span stack.
+    thread: u64,
 }
 
 /// Opens a span named `name` under the innermost open span of this
-/// thread. Returns an inert guard below [`ObsLevel::Full`].
+/// thread. Returns an inert guard below [`ObsLevel::Full`] or when the
+/// span store has reached its cap (tallied as `obs.spans.dropped`).
 pub fn enter(name: &'static str) -> SpanGuard {
     if !enabled(ObsLevel::Full) {
         return SpanGuard { live: None };
     }
     let store = store();
     let start = Instant::now();
-    let parent = CURRENT.with(|c| c.get());
+    let prev = CURRENT.with(|c| c.get());
+    let thread = thread_id();
     let record = SpanRecord {
         name,
-        parent,
-        thread: thread_id(),
+        parent: prev,
+        thread,
         start_us: start.duration_since(store.epoch).as_micros() as u64,
         duration_us: None,
     };
     let index = {
         let mut spans = store.spans.lock();
+        if spans.len() >= store.cap {
+            drop(spans);
+            crate::counter!("obs.spans.dropped");
+            return SpanGuard { live: None };
+        }
         spans.push(record);
         spans.len() - 1
     };
     CURRENT.with(|c| c.set(Some(index)));
     SpanGuard {
-        live: Some((index, start)),
+        live: Some(LiveSpan {
+            index,
+            start,
+            prev,
+            thread,
+        }),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((index, start)) = self.live else {
+        let Some(LiveSpan {
+            index,
+            start,
+            prev,
+            thread,
+        }) = self.live.take()
+        else {
             return;
         };
         let elapsed = start.elapsed().as_micros() as u64;
         let store = store();
-        let mut spans = store.spans.lock();
-        if let Some(record) = spans.get_mut(index) {
-            record.duration_us = Some(elapsed);
-            let parent = record.parent;
-            CURRENT.with(|c| c.set(parent));
+        {
+            let mut spans = store.spans.lock();
+            if let Some(record) = spans.get_mut(index) {
+                record.duration_us = Some(elapsed);
+            }
+        }
+        // Pop the span stack of the *opening* thread only: restoring the
+        // saved `prev` on a different thread would graft that thread's
+        // next spans under a parent it never opened (a cross-thread
+        // parent link).
+        if thread_id() == thread {
+            CURRENT.with(|c| c.set(prev));
         }
     }
 }
@@ -174,5 +244,47 @@ mod tests {
             let _g = enter("test.span.suppressed");
         }
         assert!(snapshot_spans().is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_on_another_thread_never_links_stacks() {
+        let _serial = crate::serial_guard();
+        set_level(ObsLevel::Full);
+        reset_spans();
+        {
+            let _outer = enter("test.span.migrating_outer");
+            let inner = enter("test.span.migrated");
+            // Ship the guard to a second thread and drop it there. The
+            // span still closes, but the dropping thread must not
+            // inherit this thread's span stack: its own next span has to
+            // be a root, not a child of `migrating_outer`.
+            std::thread::spawn(move || {
+                drop(inner);
+                let _foreign = enter("test.span.foreign_root");
+            })
+            .join()
+            .unwrap();
+        }
+        let spans = snapshot_spans();
+        set_level(ObsLevel::Counters);
+        let migrated = spans
+            .iter()
+            .find(|s| s.name == "test.span.migrated")
+            .unwrap();
+        let foreign = spans
+            .iter()
+            .find(|s| s.name == "test.span.foreign_root")
+            .unwrap();
+        assert!(migrated.duration_us.is_some(), "migrated span closed");
+        assert_eq!(
+            foreign.parent, None,
+            "a guard dropped on a foreign thread must not seed that \
+             thread's span stack (cross-thread parent link)"
+        );
+        for s in &spans {
+            if let Some(p) = s.parent {
+                assert_eq!(spans[p].thread, s.thread, "parents stay same-thread");
+            }
+        }
     }
 }

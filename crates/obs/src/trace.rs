@@ -290,6 +290,12 @@ pub struct Stamped {
     /// Process-global sequence number (0-based, never reused until
     /// [`FlightRecorder::reset`]).
     pub seq: u64,
+    /// Microseconds since the process obs epoch — the same timebase as
+    /// span `start_us`, so trace events and spans line up on one
+    /// timeline (and in the Chrome-trace export).
+    pub ts_us: u64,
+    /// Obs-internal id of the recording thread (matches span `thread`).
+    pub thread: u64,
     /// The event.
     pub event: TraceEvent,
 }
@@ -333,10 +339,17 @@ impl FlightRecorder {
     /// job — [`record_event`] does it for the global instance). Returns
     /// `true` when an older event was evicted to make room.
     pub fn record(&self, event: TraceEvent) -> bool {
+        let ts_us = crate::span::micros_since_epoch();
+        let thread = crate::span::current_thread_id();
         let mut ring = self.ring.lock();
         let seq = ring.next_seq;
         ring.next_seq += 1;
-        let stamped = Stamped { seq, event };
+        let stamped = Stamped {
+            seq,
+            ts_us,
+            thread,
+            event,
+        };
         if ring.slots.len() < ring.capacity {
             // Fill phase: the one-time allocation happens here, slot by
             // slot, never again once the ring has reached capacity.
@@ -483,6 +496,8 @@ pub fn write_trace_jsonl(dir: &Path, run: &str) -> std::io::Result<PathBuf> {
         if let Value::Object(m) = &mut obj {
             // Present first in the rendered line for scannability.
             m.insert("seq".into(), Value::from(stamped.seq));
+            m.insert("ts_us".into(), Value::from(stamped.ts_us));
+            m.insert("thread".into(), Value::from(stamped.thread));
         }
         let line = serde_json::to_string(&obj)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;

@@ -73,13 +73,46 @@ fn fixture() -> RunReport {
             count: 4,
             sum: 22,
             mean: 5.5,
-            // From the buckets: rank 2 is 1/3 into bucket 3 ([4,8)),
-            // ranks for p90/p99 land at that bucket's upper edge.
-            p50: 4.0 + (1.0 / 3.0) * 4.0,
-            p90: 8.0,
-            p99: 8.0,
+            // From the buckets: rank 2 is 1/3 into bucket 3 ([4,8),
+            // largest attainable value 7); ranks for p90/p99 land on
+            // that value.
+            p50: 4.0 + (1.0 / 3.0) * 3.0,
+            p90: 7.0,
+            p99: 7.0,
             buckets: vec![(2, 1), (3, 3)],
         }],
+        // The v3 attribution section, derived from the spans above:
+        // solve's self time is its 950µs minus the nested round's 430.
+        profile: Some(qnet_obs::ProfileSection {
+            rows: vec![
+                qnet_obs::ProfileRow {
+                    name: "core.prim_based.round".into(),
+                    count: 1,
+                    total_us: 430,
+                    self_us: 430,
+                },
+                qnet_obs::ProfileRow {
+                    name: "core.prim_based.solve".into(),
+                    count: 1,
+                    total_us: 950,
+                    self_us: 520,
+                },
+                qnet_obs::ProfileRow {
+                    name: "exp.runner.mean_rates".into(),
+                    count: 1,
+                    total_us: 0,
+                    self_us: 0,
+                },
+            ],
+            root_total_us: 950,
+            attributed_us: 950,
+            alloc: Some(qnet_obs::AllocSummary {
+                allocs: 18,
+                bytes: 8192,
+                peak_bytes: 4096,
+            }),
+            peak_rss_bytes: Some(52_428_800),
+        }),
     }
 }
 
@@ -124,6 +157,14 @@ fn golden_file_round_trips_through_the_typed_report() {
     assert_eq!(report.spans, fix.spans);
     assert_eq!(report.counters, fix.counters);
     assert_eq!(report.histograms, fix.histograms);
+    assert_eq!(report.profile, fix.profile);
+    // The fixture's hand-written attribution rows must agree with the
+    // real derivation from its spans.
+    let derived = qnet_obs::ProfileSection::from_spans(&fix.spans);
+    let fix_profile = fix.profile.unwrap();
+    assert_eq!(derived.rows, fix_profile.rows);
+    assert_eq!(derived.root_total_us, fix_profile.root_total_us);
+    assert_eq!(derived.attributed_us, fix_profile.attributed_us);
     assert_eq!(render(&report), on_disk, "to_json(from_json(x)) == x");
 }
 
@@ -149,6 +190,40 @@ fn version_one_golden_file_still_parses() {
         report.histograms, fix.histograms,
         "migration recomputes the quantiles the v1 file lacks"
     );
+    assert_eq!(report.profile, None, "pre-3 reports have no profile");
+}
+
+#[test]
+fn version_two_golden_file_still_parses() {
+    // `report_v2.json` is the PR-3 on-disk format, frozen: explicit
+    // schema_version 2 with stored quantiles, no `profile` key. It must
+    // keep loading *as written* — the stored quantiles are trusted, not
+    // recomputed, so old baselines diff cleanly.
+    let _serial = serial();
+    let path = golden_path().with_file_name("report_v2.json");
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing legacy golden {}: {e}", path.display()));
+    let value = serde_json::from_str(&on_disk).expect("legacy golden is valid JSON");
+    let report = RunReport::from_json(&value).expect("legacy shape accepted");
+    assert_eq!(report.schema_version, 2);
+    let fix = fixture();
+    assert_eq!(report.run, fix.run);
+    assert_eq!(report.spans, fix.spans);
+    assert_eq!(report.counters, fix.counters);
+    assert_eq!(report.profile, None, "v2 reports have no profile");
+    let h = &report.histograms[0];
+    assert_eq!(
+        (h.p50, h.p90, h.p99),
+        (4.0 + 4.0 / 3.0, 8.0, 8.0),
+        "v2 quantiles are read back verbatim (old upper-edge estimates)"
+    );
+    // Re-serialization upgrades to v3 and stays loadable.
+    let upgraded = report.to_json();
+    assert_eq!(
+        upgraded.get("schema_version").and_then(|v| v.as_u64()),
+        Some(SCHEMA_VERSION as u64)
+    );
+    assert!(RunReport::from_json(&upgraded).is_some());
 }
 
 #[test]
