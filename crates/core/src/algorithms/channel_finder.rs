@@ -12,28 +12,35 @@
 
 use std::cell::Cell;
 
-use qnet_graph::paths::{dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraWorkspace};
-use qnet_graph::{EdgeRef, NodeId, SearchMask};
+use qnet_graph::paths::{dijkstra_adj_into, DijkstraConfig, DijkstraRun, DijkstraWorkspace};
+use qnet_graph::{Adjacency, CsrGraph, EdgeRef, NodeId, SearchMask};
+use qnet_pool::Pool;
 
 use crate::channel::{CapacityMap, Channel};
 use crate::model::QuantumNetwork;
 
-/// Runs the Algorithm-1 search from `source` and leaves the result in
-/// `ws`; the caller materializes it however it likes (fresh
-/// [`DijkstraRun`] or in-place refresh of an existing one).
+/// The search half of [`run_algorithm1`]: runs Algorithm 1 from
+/// `source` over any [`Adjacency`] view of the network's graph and
+/// returns the borrowed view plus the run's full-switch rejection
+/// tally — **without** touching the flight recorder or flushing the
+/// rejection counter.
 ///
-/// This is the one place the `α·L − ln q` cost and the capacity-aware
-/// relay filter are defined; [`ChannelFinder`] and
-/// [`ChannelFinderCache`] both route through it. A failure `mask`
-/// excludes dead edges and vertices (survivability repair); `None`
-/// searches the intact network.
-fn run_algorithm1<'w>(
+/// That restraint is what makes the function safe to call from pool
+/// workers: the flight-recorder ring orders events by arrival, so
+/// worker-side emission would make trace contents depend on thread
+/// scheduling. Callers flush via [`finish_finder_run`] on the
+/// submitting thread, in a deterministic order. The per-run span and
+/// the `core.channel.finder_runs` counter *are* recorded here (span
+/// parentage is safe cross-thread through the pool's span-context
+/// adoption, and counter totals are order-independent).
+fn run_algorithm1_quiet<'w, A: Adjacency + ?Sized>(
     ws: &'w mut DijkstraWorkspace,
+    adj: &A,
     net: &QuantumNetwork,
     capacity: &CapacityMap,
     source: NodeId,
     mask: Option<&SearchMask>,
-) -> qnet_graph::DijkstraView<'w> {
+) -> (qnet_graph::DijkstraView<'w>, u64) {
     let q = net.physics().swap_success;
     let alpha = net.physics().attenuation;
     // Edge cost α·L − ln q (non-negative since q ≤ 1). A degenerate
@@ -44,8 +51,8 @@ fn run_algorithm1<'w>(
     let swaps_possible = q > 0.0;
     // Dijkstra consults the relay filter at most once per vertex per run
     // (settled vertices are never re-queried), so this tally counts
-    // *distinct* full switches for this run — flushed once below instead
-    // of paying an atomic per rejection inside the search.
+    // *distinct* full switches for this run — returned to the caller
+    // instead of paying an atomic per rejection inside the search.
     let rejected_full = Cell::new(0u64);
     let cfg = DijkstraConfig {
         edge_cost: move |e: EdgeRef<'_, f64>| {
@@ -70,18 +77,48 @@ fn run_algorithm1<'w>(
     };
     qnet_obs::counter!("core.channel.finder_runs");
     let _span = qnet_obs::span!("core.channel.finder_run");
-    let view = dijkstra_into(ws, net.graph(), source, &cfg);
+    let view = dijkstra_adj_into(ws, adj, net.graph(), source, &cfg);
     let n = rejected_full.get();
-    if n > 0 {
-        qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity"; n);
+    (view, n)
+}
+
+/// The bookkeeping half of [`run_algorithm1`]: flushes a run's
+/// rejection tally and emits its `FinderRun` trace event. Call on the
+/// submitting thread, in source order, after a (possibly parallel)
+/// batch of [`run_algorithm1_quiet`] searches — the flight-recorder
+/// contents then never depend on worker scheduling.
+fn finish_finder_run(source: NodeId, rejected_full: u64, epoch: u64) {
+    if rejected_full > 0 {
+        qnet_obs::counter!("core.channel.rejected", reason = "qubit_capacity"; rejected_full);
     }
     if qnet_obs::trace_enabled() {
         qnet_obs::record_event(qnet_obs::TraceEvent::FinderRun {
             source: source.index() as u32,
-            rejected_full: n,
-            epoch: capacity.epoch(),
+            rejected_full,
+            epoch,
         });
     }
+}
+
+/// Runs the Algorithm-1 search from `source` and leaves the result in
+/// `ws`; the caller materializes it however it likes (fresh
+/// [`DijkstraRun`] or in-place refresh of an existing one).
+///
+/// This is the one place the `α·L − ln q` cost and the capacity-aware
+/// relay filter are defined; [`ChannelFinder`] and
+/// [`ChannelFinderCache`] both route through it (the cache via the
+/// split [`run_algorithm1_quiet`]/[`finish_finder_run`] halves and its
+/// frozen CSR adjacency). A failure `mask` excludes dead edges and
+/// vertices (survivability repair); `None` searches the intact network.
+fn run_algorithm1<'w>(
+    ws: &'w mut DijkstraWorkspace,
+    net: &QuantumNetwork,
+    capacity: &CapacityMap,
+    source: NodeId,
+    mask: Option<&SearchMask>,
+) -> qnet_graph::DijkstraView<'w> {
+    let (view, rejected) = run_algorithm1_quiet(ws, net.graph(), net, capacity, source, mask);
+    finish_finder_run(source, rejected, capacity.epoch());
     view
 }
 
@@ -143,21 +180,6 @@ impl<'n> ChannelFinder<'n> {
             run,
             epoch: capacity.epoch(),
         }
-    }
-
-    /// Re-runs the search from this finder's source under a (possibly
-    /// changed) capacity map and mask, overwriting the stored run in
-    /// place — the steady-state refresh path of [`ChannelFinderCache`],
-    /// free of allocation once buffers have reached graph size.
-    fn refresh_in(
-        &mut self,
-        ws: &mut DijkstraWorkspace,
-        capacity: &CapacityMap,
-        mask: Option<&SearchMask>,
-    ) {
-        let source = self.run.source();
-        run_algorithm1(ws, self.net, capacity, source, mask).write_run(&mut self.run);
-        self.epoch = capacity.epoch();
     }
 
     /// The source user of this run.
@@ -260,6 +282,17 @@ pub fn max_rate_channel(
 /// [`search_count`]: ChannelFinderCache::search_count
 pub struct ChannelFinderCache<'n> {
     net: &'n QuantumNetwork,
+    /// The network graph's adjacency frozen into CSR form at cache
+    /// construction: every search this cache runs — sequential misses
+    /// and pooled [`warm`](ChannelFinderCache::warm) batches alike —
+    /// iterates this flat, thread-shareable layout instead of chasing
+    /// the graph's per-node `Vec`s.
+    csr: CsrGraph,
+    /// Fans [`warm`](ChannelFinderCache::warm) batches out over worker
+    /// threads; sized by `MUERP_THREADS`/available parallelism. Results
+    /// are merged in source order, so the cache's observable state is
+    /// identical at every thread count.
+    pool: Pool,
     ws: DijkstraWorkspace,
     /// Indexed by source node; each entry stores the (epoch, mask hash)
     /// key its run was computed under.
@@ -307,10 +340,21 @@ impl CacheEfficiency {
 
 impl<'n> ChannelFinderCache<'n> {
     /// An empty cache for `net`; entries populate lazily per source.
+    /// The pool width comes from `MUERP_THREADS`/available parallelism
+    /// (see [`qnet_pool::threads_from_env`]).
     pub fn new(net: &'n QuantumNetwork) -> Self {
+        Self::with_pool(net, Pool::from_env())
+    }
+
+    /// [`ChannelFinderCache::new`] with an explicit pool — the hook the
+    /// thread-scaling bench and the determinism tests use to pin the
+    /// worker count regardless of environment.
+    pub fn with_pool(net: &'n QuantumNetwork, pool: Pool) -> Self {
         let nodes = net.graph().node_count();
         ChannelFinderCache {
             net,
+            csr: CsrGraph::from_graph(net.graph()),
+            pool,
             ws: DijkstraWorkspace::with_capacity(nodes),
             entries: (0..nodes).map(|_| None).collect(),
             searches: 0,
@@ -344,27 +388,130 @@ impl<'n> ChannelFinderCache<'n> {
                 qnet_obs::counter!("core.channel.cache_misses");
                 qnet_obs::counter!("core.channel.cache_refreshes");
                 self.efficiency.refreshes += 1;
-                finder.refresh_in(&mut self.ws, capacity, mask);
+                let (view, rejected) =
+                    run_algorithm1_quiet(&mut self.ws, &self.csr, self.net, capacity, source, mask);
+                view.write_run(&mut finder.run);
+                finder.epoch = capacity.epoch();
+                finish_finder_run(source, rejected, capacity.epoch());
                 *cached = key;
                 self.searches += 1;
             }
             entry @ None => {
                 qnet_obs::counter!("core.channel.cache_misses");
                 self.efficiency.fills += 1;
-                *entry = Some((
-                    key,
-                    ChannelFinder::from_source_masked_in(
-                        &mut self.ws,
-                        self.net,
-                        capacity,
-                        source,
-                        mask,
-                    ),
-                ));
+                let (view, rejected) =
+                    run_algorithm1_quiet(&mut self.ws, &self.csr, self.net, capacity, source, mask);
+                let finder = ChannelFinder {
+                    net: self.net,
+                    run: view.to_run(),
+                    epoch: capacity.epoch(),
+                };
+                finish_finder_run(source, rejected, capacity.epoch());
+                *entry = Some((key, finder));
                 self.searches += 1;
             }
         }
         &self.entries[idx].as_ref().expect("entry just populated").1
+    }
+
+    /// Batch-refreshes the entries for `sources` under `(capacity,
+    /// mask)` — **Algorithm 1 as a multi-source batch**. Sources whose
+    /// entry is already fresh are skipped; the rest are searched
+    /// concurrently on the cache's [`Pool`] over the frozen CSR
+    /// adjacency, each stale entry's result buffers recycled as the
+    /// staging target. Subsequent [`finder`](ChannelFinderCache::finder)
+    /// calls for these sources at the same epoch are then cache hits.
+    ///
+    /// Determinism: results are installed — and their trace events
+    /// emitted — in `sources` order on the calling thread, so cache
+    /// state, counters tied to search results, and the flight recorder
+    /// are bitwise identical for every pool width (the property
+    /// `tests/parallel_equivalence.rs` locks in). Warm searches tally
+    /// as misses (refresh or fill) exactly like the lazy path.
+    pub fn warm(&mut self, capacity: &CapacityMap, sources: &[NodeId]) {
+        self.warm_masked(capacity, None, sources)
+    }
+
+    /// [`ChannelFinderCache::warm`] under a failure mask.
+    pub fn warm_masked(
+        &mut self,
+        capacity: &CapacityMap,
+        mask: Option<&SearchMask>,
+        sources: &[NodeId],
+    ) {
+        let epoch = capacity.epoch();
+        let key = (epoch, mask.map_or(0, |m| m.hash()));
+        // Collect stale sources in input order (first occurrence wins),
+        // recycling each stale entry's run as the staging buffer.
+        let mut jobs: Vec<(NodeId, DijkstraRun)> = Vec::new();
+        for &src in sources {
+            let entry = &mut self.entries[src.index()];
+            match entry {
+                Some((cached, _)) if *cached == key => {}
+                taken => {
+                    if jobs.iter().any(|(s, _)| *s == src) {
+                        continue;
+                    }
+                    let run = match taken.take() {
+                        Some((_, finder)) => {
+                            qnet_obs::counter!("core.channel.cache_misses");
+                            qnet_obs::counter!("core.channel.cache_refreshes");
+                            self.efficiency.refreshes += 1;
+                            finder.run
+                        }
+                        None => {
+                            qnet_obs::counter!("core.channel.cache_misses");
+                            self.efficiency.fills += 1;
+                            DijkstraRun::default()
+                        }
+                    };
+                    jobs.push((src, run));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        self.searches += jobs.len() as u64;
+
+        let results: Vec<(NodeId, DijkstraRun, u64)> = if self.pool.is_sequential() {
+            // Inline path: reuse the cache's own workspace, no spawns.
+            let mut out = Vec::with_capacity(jobs.len());
+            for (src, mut run) in jobs {
+                let (view, rejected) =
+                    run_algorithm1_quiet(&mut self.ws, &self.csr, self.net, capacity, src, mask);
+                view.write_run(&mut run);
+                out.push((src, run, rejected));
+            }
+            out
+        } else {
+            let net = self.net;
+            let csr = &self.csr;
+            let order = csr.node_count();
+            self.pool.map(
+                jobs,
+                || DijkstraWorkspace::with_capacity(order),
+                |ws, (src, mut run), _| {
+                    let (view, rejected) = run_algorithm1_quiet(ws, csr, net, capacity, src, mask);
+                    view.write_run(&mut run);
+                    (src, run, rejected)
+                },
+            )
+        };
+
+        // Merge on the calling thread, in source order: install entries
+        // and emit the deferred per-run events deterministically.
+        for (src, run, rejected) in results {
+            finish_finder_run(src, rejected, epoch);
+            self.entries[src.index()] = Some((
+                key,
+                ChannelFinder {
+                    net: self.net,
+                    run,
+                    epoch,
+                },
+            ));
+        }
     }
 
     /// [`max_rate_channel`] through the cache.
@@ -397,6 +544,15 @@ impl<'n> ChannelFinderCache<'n> {
     /// `repro profile` byte-compares them across runs.
     pub fn efficiency(&self) -> CacheEfficiency {
         self.efficiency
+    }
+
+    /// Drops every memoized entry (the frozen CSR adjacency, pool, and
+    /// tallies are kept): the next lookup per source is a *fill*, not a
+    /// refresh. This is how the search-core bench measures the fill path
+    /// in isolation — refreshes and fills run the identical search; only
+    /// the result buffers differ (recycled vs freshly allocated).
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
     }
 }
 
@@ -600,6 +756,13 @@ mod tests {
             eff.refreshes + eff.fills,
             "searches are exactly the misses"
         );
+
+        // clear() drops the entries but keeps the tallies: the next
+        // lookup at an unchanged epoch is a fill again, not a hit.
+        cache.clear();
+        let ch2 = cache.channel(&cap, a, b).unwrap();
+        assert_eq!(ch2, ch, "clear must not change results, only reuse");
+        assert_eq!(cache.efficiency().fills, 3, "post-clear lookup is a fill");
     }
 
     #[test]

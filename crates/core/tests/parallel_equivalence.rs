@@ -1,0 +1,119 @@
+//! Thread-count invariance of the parallel search core.
+//!
+//! The channel-finder cache batches stale sources across a worker pool
+//! (`ChannelFinderCache::warm`) and merges in source order, so every
+//! observable output — finder results, channels, solver solutions, and
+//! even the `FinderRun` flight-recorder stream — must be bitwise
+//! identical at any pool width. These tests pin that contract at widths
+//! 1 and 3 (3 exceeds this suite's job counts enough to exercise the
+//! work-stealing path even on a single-core host).
+
+use muerp_core::algorithms::{ChannelFinderCache, ConflictFree, PrimBased};
+use muerp_core::channel::{CapacityMap, Channel};
+use muerp_core::model::NetworkSpec;
+use muerp_core::solver::RoutingAlgorithm;
+use qnet_pool::Pool;
+
+/// Serializes the tests touching process-global observability state
+/// (trace recorder, level) and the pool-width default.
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Warms every user source on a width-`threads` pool and collects the
+/// full pairwise channel matrix from the cached finders.
+fn warm_channel_matrix(threads: usize, seed: u64) -> Vec<Option<Channel>> {
+    let net = NetworkSpec::paper_default().build(seed);
+    let capacity = CapacityMap::new(&net);
+    let users = net.users().to_vec();
+    let mut cache = ChannelFinderCache::with_pool(&net, Pool::with_threads(threads));
+    cache.warm(&capacity, &users);
+    let mut matrix = Vec::new();
+    for &src in &users {
+        let finder = cache.finder(&capacity, src);
+        for &dst in &users {
+            if dst != src {
+                matrix.push(finder.channel_to(dst));
+            }
+        }
+    }
+    matrix
+}
+
+#[test]
+fn warm_channels_are_bitwise_equal_across_pool_widths() {
+    let _lock = global_lock();
+    for seed in [0u64, 7, 42] {
+        let one = warm_channel_matrix(1, seed);
+        let three = warm_channel_matrix(3, seed);
+        assert!(one.iter().any(Option::is_some), "seed {seed}: empty matrix");
+        assert_eq!(one, three, "seed {seed}: channels diverged across widths");
+    }
+}
+
+/// The flight-recorder stream of a warm batch: events are flushed on the
+/// calling thread in source order after the merge, so the recorder
+/// contents must not depend on the pool width.
+#[test]
+fn finder_run_events_are_identical_across_pool_widths() {
+    let _lock = global_lock();
+    let events_at = |threads: usize| {
+        qnet_obs::set_level(qnet_obs::ObsLevel::Trace);
+        qnet_obs::reset_trace();
+        let net = NetworkSpec::paper_default().build(11);
+        let capacity = CapacityMap::new(&net);
+        let users = net.users().to_vec();
+        let mut cache = ChannelFinderCache::with_pool(&net, Pool::with_threads(threads));
+        cache.warm(&capacity, &users);
+        let events = qnet_obs::trace_snapshot();
+        qnet_obs::set_level(qnet_obs::ObsLevel::Counters);
+        qnet_obs::reset_trace();
+        // Project out wall-clock timestamps and the process-global
+        // capacity epoch (both advance between the two runs); sequence
+        // numbers, emitting thread, source order, and tallies are the
+        // determinism contract.
+        events
+            .into_iter()
+            .map(|s| match s.event {
+                qnet_obs::TraceEvent::FinderRun {
+                    source,
+                    rejected_full,
+                    ..
+                } => (s.seq, s.thread, source, rejected_full),
+                other => panic!("unexpected event in warm batch: {other:?}"),
+            })
+            .collect::<Vec<_>>()
+    };
+    let one = events_at(1);
+    let three = events_at(3);
+    assert!(
+        !one.is_empty(),
+        "warm must emit FinderRun events at trace level"
+    );
+    assert_eq!(one, three, "recorder streams diverged across widths");
+}
+
+/// End-to-end: the full solvers (which reach the pool through
+/// `ChannelFinderCache::new` → `Pool::from_env`) produce identical
+/// solutions when the process-default width changes.
+#[test]
+fn solver_solutions_are_invariant_under_default_pool_width() {
+    let _lock = global_lock();
+    if std::env::var_os(qnet_pool::THREADS_ENV).is_some() {
+        return; // explicit override wins over set_default_threads
+    }
+    for seed in [3u64, 9] {
+        let net = NetworkSpec::paper_default().build(seed);
+        let solve_at = |threads: usize| {
+            qnet_pool::set_default_threads(Some(threads));
+            let out = (
+                ConflictFree::default().solve(&net),
+                PrimBased::default().solve(&net),
+            );
+            qnet_pool::set_default_threads(None);
+            out
+        };
+        assert_eq!(solve_at(1), solve_at(3), "seed {seed}");
+    }
+}

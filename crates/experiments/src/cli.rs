@@ -55,7 +55,7 @@ pub enum Command {
 }
 
 /// Scenarios the `profile` subcommand accepts.
-pub const PROFILE_SCENARIOS: [&str; 2] = ["paper-default", "waxman-240"];
+pub const PROFILE_SCENARIOS: [&str; 3] = ["paper-default", "waxman-240", "waxman-2400"];
 
 /// Arguments of the `profile` subcommand.
 #[derive(Clone, Debug, PartialEq, Eq)]

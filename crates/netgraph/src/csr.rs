@@ -1,0 +1,216 @@
+//! Compressed sparse row (CSR) adjacency: the cache-friendly, shareable
+//! search substrate.
+//!
+//! [`Graph`] stores adjacency as one heap `Vec` per node — convenient
+//! for incremental construction, but a pointer chase per visited vertex
+//! during a search, and a structure the borrow checker cannot hand to
+//! several worker threads without cloning. [`CsrGraph`] freezes that
+//! adjacency into two flat arrays (structure of arrays):
+//!
+//! ```text
+//! offsets: [o₀, o₁, …, o_n]          n+1 × u32
+//! adj:     [(nbr, edge), …]          o_n entries, grouped by node
+//! ```
+//!
+//! node `v`'s neighbors are `adj[offsets[v] .. offsets[v+1]]` — one
+//! contiguous slice, no per-node allocation, and the whole structure is
+//! an immutable value that any number of threads may read concurrently.
+//! Neighbor order is preserved exactly from the source graph, so every
+//! search that iterates neighbors in order (Dijkstra's relaxations,
+//! Yen's spur searches, BFS) produces **bitwise identical** results on
+//! either representation.
+//!
+//! The [`Adjacency`] trait abstracts over the two layouts; the search
+//! engines in [`crate::paths`] and [`crate::ksp`] are generic over it,
+//! so `Graph`-based entry points keep working unchanged while hot paths
+//! (the channel-finder cache, the parallel multi-source batches) build a
+//! `CsrGraph` once per solve and reuse it for every search.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Read-only neighbor access shared by [`Graph`] and [`CsrGraph`].
+///
+/// The contract the generic search engines rely on:
+///
+/// * [`order`](Adjacency::order) is the dense vertex-id space size; all
+///   `(NodeId, EdgeId)` pairs index into the graph the adjacency was
+///   derived from.
+/// * [`neighbors_of`](Adjacency::neighbors_of) returns the incident
+///   `(neighbor, edge)` pairs of a vertex **in insertion order** — the
+///   order determines tie-breaking in searches, so two `Adjacency`
+///   views of the same graph yield identical search results only if
+///   their neighbor orders match ([`CsrGraph::from_graph`] guarantees
+///   this).
+pub trait Adjacency {
+    /// Number of vertices in the dense id space.
+    fn order(&self) -> usize;
+
+    /// The `(neighbor, edge)` pairs incident to `n`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    fn neighbors_of(&self, n: NodeId) -> &[(NodeId, EdgeId)];
+}
+
+impl<N, E> Adjacency for Graph<N, E> {
+    #[inline]
+    fn order(&self) -> usize {
+        self.node_count()
+    }
+
+    #[inline]
+    fn neighbors_of(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        self.neighbor_slice(n)
+    }
+}
+
+/// Frozen compressed-sparse-row adjacency of a [`Graph`].
+///
+/// Build once with [`CsrGraph::from_graph`] (O(|V| + |E|), the crate's
+/// only copy of the adjacency), then run any number of searches — from
+/// any number of threads — against it. The structure holds **no edge
+/// payloads**: costs still come from the originating graph, which the
+/// generic search entry points take alongside the adjacency.
+///
+/// Offsets are `u32`, capping the directed-entry count (2·|E| for an
+/// undirected graph) at ~4.29 billion — far beyond any topology this
+/// workspace simulates, and half the index-array footprint of `usize`
+/// offsets on 64-bit hosts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` brackets node v's slice of `adj`.
+    offsets: Vec<u32>,
+    /// All `(neighbor, edge)` pairs, grouped by node, insertion order.
+    adj: Vec<(NodeId, EdgeId)>,
+}
+
+impl CsrGraph {
+    /// Freezes `g`'s adjacency, preserving per-node neighbor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has 2³² or more directed adjacency entries.
+    pub fn from_graph<N, E>(g: &Graph<N, E>) -> CsrGraph {
+        let n = g.node_count();
+        let entries = 2 * g.edge_count();
+        assert!(
+            u32::try_from(entries).is_ok(),
+            "graph too large for u32 CSR offsets ({entries} directed entries)"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(entries);
+        offsets.push(0);
+        for v in 0..n {
+            adj.extend_from_slice(g.neighbor_slice(NodeId::new(v)));
+            offsets.push(adj.len() as u32);
+        }
+        CsrGraph { offsets, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed adjacency entries (2·edges for undirected graphs).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of incident edges of `n` (parallel edges counted each).
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).len()
+    }
+
+    /// The `(neighbor, edge)` pairs incident to `n`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        let i = n.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Bytes of heap the two arrays occupy (capacity, not length) —
+    /// surfaced by the bench report to compare against the `Vec<Vec<_>>`
+    /// layout.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.adj.capacity() * std::mem::size_of::<(NodeId, EdgeId)>()
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn order(&self) -> usize {
+        self.node_count()
+    }
+
+    #[inline]
+    fn neighbors_of(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        self.neighbors(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph<(), f64> {
+        let mut g = Graph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 1.0);
+        g.add_edge(n[1], n[2], 2.0);
+        g.add_edge(n[0], n[2], 3.0);
+        g.add_edge(n[0], n[1], 4.0); // parallel edge
+        g.add_edge(n[3], n[4], 5.0);
+        g
+    }
+
+    #[test]
+    fn mirrors_graph_adjacency_exactly() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.entry_count(), 2 * g.edge_count());
+        for v in g.node_ids() {
+            let from_graph: Vec<(NodeId, EdgeId)> = g.neighbors(v).collect();
+            assert_eq!(csr.neighbors(v), from_graph.as_slice(), "node {v}");
+            assert_eq!(csr.degree(v), g.degree(v));
+            assert_eq!(csr.neighbors_of(v), g.neighbors_of(v));
+        }
+        assert_eq!(Adjacency::order(&csr), Adjacency::order(&g));
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let empty: Graph<(), ()> = Graph::new();
+        let csr = CsrGraph::from_graph(&empty);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.entry_count(), 0);
+
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr.neighbors(a).is_empty());
+        assert_eq!(csr.degree(a), 0);
+        assert!(csr.heap_bytes() >= 2 * std::mem::size_of::<u32>());
+    }
+
+    #[test]
+    fn is_plain_shareable_data() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<CsrGraph>();
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr, csr.clone());
+    }
+}

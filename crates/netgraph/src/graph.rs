@@ -315,6 +315,18 @@ impl<N, E> Graph<N, E> {
         self.adjacency[n.index()].iter().copied()
     }
 
+    /// The `(neighbor, edge)` pairs incident to `n` as one slice, in
+    /// insertion order — the zero-cost form behind [`Graph::neighbors`]
+    /// and the source layout [`crate::CsrGraph::from_graph`] freezes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[n.index()]
+    }
+
     /// Iterates over all node ids in insertion order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
         (0..self.nodes.len()).map(NodeId::new)

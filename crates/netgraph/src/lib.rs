@@ -48,6 +48,7 @@
 
 pub mod centrality;
 pub mod connectivity;
+pub mod csr;
 pub mod dcmst;
 pub mod dot;
 pub mod graph;
@@ -59,10 +60,18 @@ pub mod steiner;
 pub mod unionfind;
 pub mod weight;
 
+pub use csr::{Adjacency, CsrGraph};
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
-pub use mask::{dijkstra_masked_into, k_shortest_paths_masked_in, SearchMask};
+pub use ksp::{
+    k_shortest_paths, k_shortest_paths_adj_in, k_shortest_paths_in, k_shortest_paths_pooled_in,
+};
+pub use mask::{
+    dijkstra_masked_adj_into, dijkstra_masked_into, k_shortest_paths_masked_adj_in,
+    k_shortest_paths_masked_in, SearchMask,
+};
 pub use paths::{
-    dijkstra, dijkstra_into, DijkstraConfig, DijkstraRun, DijkstraView, DijkstraWorkspace, Path,
+    dijkstra, dijkstra_adj_into, dijkstra_csr_into, dijkstra_into, DijkstraConfig, DijkstraRun,
+    DijkstraView, DijkstraWorkspace, Path,
 };
 pub use unionfind::UnionFind;
 pub use weight::NegLog;

@@ -16,8 +16,11 @@
 //! set of elements hash identically regardless of kill order, and the
 //! empty mask always hashes to `0`.
 
+use crate::csr::Adjacency;
 use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
-use crate::paths::{dijkstra_into, DijkstraConfig, DijkstraView, DijkstraWorkspace, Path};
+use crate::paths::{
+    dijkstra_adj_into, dijkstra_into, DijkstraConfig, DijkstraView, DijkstraWorkspace, Path,
+};
 
 /// FNV-1a over a small tag + index pair; each killed element contributes
 /// one such digest, combined by XOR so the total is order-independent.
@@ -162,6 +165,35 @@ where
     dijkstra_into(ws, g, source, &masked)
 }
 
+/// [`dijkstra_masked_into`] over an explicit [`Adjacency`] (the graph
+/// itself or a [`crate::CsrGraph`] frozen from it) — bitwise-identical
+/// results on either layout.
+pub fn dijkstra_masked_adj_into<'w, A, N, E, FC, FR>(
+    ws: &'w mut DijkstraWorkspace,
+    adj: &A,
+    g: &Graph<N, E>,
+    source: NodeId,
+    config: &DijkstraConfig<FC, FR>,
+    mask: &SearchMask,
+) -> DijkstraView<'w>
+where
+    A: Adjacency + ?Sized,
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    let masked = DijkstraConfig {
+        edge_cost: |e: EdgeRef<'_, E>| {
+            if mask.blocks(e.id, e.a, e.b) {
+                f64::INFINITY
+            } else {
+                (config.edge_cost)(e)
+            }
+        },
+        can_relay: |v: NodeId| !mask.node_dead(v) && (config.can_relay)(v),
+    };
+    dijkstra_adj_into(ws, adj, g, source, &masked)
+}
+
 /// Yen's k shortest paths under a failure mask; see
 /// [`dijkstra_masked_into`] for the mask semantics and
 /// [`crate::ksp::k_shortest_paths_in`] for everything else.
@@ -189,6 +221,37 @@ where
         can_relay: |v: NodeId| !mask.node_dead(v) && (config.can_relay)(v),
     };
     crate::ksp::k_shortest_paths_in(ws, g, source, target, k, &masked)
+}
+
+/// [`k_shortest_paths_masked_in`] over an explicit [`Adjacency`] — see
+/// [`dijkstra_masked_adj_into`] for the layout contract.
+#[allow(clippy::too_many_arguments)]
+pub fn k_shortest_paths_masked_adj_in<A, N, E, FC, FR>(
+    ws: &mut DijkstraWorkspace,
+    adj: &A,
+    g: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    config: &DijkstraConfig<FC, FR>,
+    mask: &SearchMask,
+) -> Vec<Path>
+where
+    A: Adjacency + ?Sized,
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    let masked = DijkstraConfig {
+        edge_cost: |e: EdgeRef<'_, E>| {
+            if mask.blocks(e.id, e.a, e.b) {
+                f64::INFINITY
+            } else {
+                (config.edge_cost)(e)
+            }
+        },
+        can_relay: |v: NodeId| !mask.node_dead(v) && (config.can_relay)(v),
+    };
+    crate::ksp::k_shortest_paths_adj_in(ws, adj, g, source, target, k, &masked)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::csr::{Adjacency, CsrGraph};
 use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
 
 /// A simple path through the graph: node sequence, the edges between them,
@@ -93,11 +94,24 @@ impl<FC> DijkstraConfig<FC, fn(NodeId) -> bool> {
 }
 
 /// The result of a [`dijkstra`] run from one source.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DijkstraRun {
     source: NodeId,
     dist: Vec<f64>,
     prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl Default for DijkstraRun {
+    /// An empty staging run (no vertices, placeholder source) for
+    /// [`DijkstraView::write_run`] to fill — what batch-refresh paths
+    /// use to recycle result buffers through a thread pool.
+    fn default() -> Self {
+        DijkstraRun {
+            source: NodeId::new(0),
+            dist: Vec::new(),
+            prev: Vec::new(),
+        }
+    }
 }
 
 /// Reusable scratch state for repeated Dijkstra runs.
@@ -283,14 +297,27 @@ impl DijkstraView<'_> {
 
     /// Copies the run into `out`, reusing its buffers (no allocation
     /// once `out` has reached the graph's size).
+    ///
+    /// One fused pass over the workspace slots: each slot's generation
+    /// stamp is loaded once and both the distance and the predecessor
+    /// are emitted from it, instead of the two stamp-checking sweeps a
+    /// `dist_at`/`prev_at` pair of extends would make. This keeps a
+    /// cache *refresh* (search + copy into recycled buffers) cheaper
+    /// than a *fresh* fill (search + copy into new allocations) — the
+    /// invariant the search-core bench asserts.
     pub fn write_run(&self, out: &mut DijkstraRun) {
-        out.source = self.ws.source;
+        let ws = self.ws;
+        let n = ws.active_len;
+        out.source = ws.source;
         out.dist.clear();
         out.prev.clear();
-        out.dist
-            .extend((0..self.ws.active_len).map(|i| self.ws.dist_at(i)));
-        out.prev
-            .extend((0..self.ws.active_len).map(|i| self.ws.prev_at(i)));
+        out.dist.reserve(n);
+        out.prev.reserve(n);
+        for ((&stamp, &dist), &prev) in ws.stamp[..n].iter().zip(&ws.dist[..n]).zip(&ws.prev[..n]) {
+            let live = stamp == ws.generation;
+            out.dist.push(if live { dist } else { f64::INFINITY });
+            out.prev.push(if live { prev } else { None });
+        }
     }
 }
 
@@ -388,9 +415,59 @@ where
     FC: Fn(EdgeRef<'_, E>) -> f64,
     FR: Fn(NodeId) -> bool,
 {
+    dijkstra_adj_into(ws, g, g, source, config)
+}
+
+/// [`dijkstra_into`] over a frozen [`CsrGraph`] adjacency: identical
+/// semantics and bitwise-identical results (CSR preserves neighbor
+/// order), with edge payloads still read from the originating graph.
+///
+/// # Panics
+///
+/// Panics on negative/NaN edge costs (see [`dijkstra_into`]), and
+/// debug-asserts that `csr` covers `g`'s vertex space.
+pub fn dijkstra_csr_into<'w, N, E, FC, FR>(
+    ws: &'w mut DijkstraWorkspace,
+    csr: &CsrGraph,
+    g: &Graph<N, E>,
+    source: NodeId,
+    config: &DijkstraConfig<FC, FR>,
+) -> DijkstraView<'w>
+where
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
+    debug_assert_eq!(
+        csr.node_count(),
+        g.node_count(),
+        "CSR adjacency must be built from this graph"
+    );
+    dijkstra_adj_into(ws, csr, g, source, config)
+}
+
+/// The generic search engine behind [`dijkstra_into`] and
+/// [`dijkstra_csr_into`]: adjacency comes from `adj` (either the graph
+/// itself or a [`CsrGraph`] frozen from it), edge payloads from `g`.
+///
+/// # Panics
+///
+/// Panics if `edge_cost` returns a negative or NaN value (see
+/// [`dijkstra_into`] for when the check fires).
+pub fn dijkstra_adj_into<'w, A, N, E, FC, FR>(
+    ws: &'w mut DijkstraWorkspace,
+    adj: &A,
+    g: &Graph<N, E>,
+    source: NodeId,
+    config: &DijkstraConfig<FC, FR>,
+) -> DijkstraView<'w>
+where
+    A: Adjacency + ?Sized,
+    FC: Fn(EdgeRef<'_, E>) -> f64,
+    FR: Fn(NodeId) -> bool,
+{
     qnet_obs::counter!("graph.dijkstra.calls");
     let _span = qnet_obs::span!("graph.dijkstra.run");
-    ws.begin(g.node_count());
+    ws.begin(adj.order());
     ws.source = source;
     // Tally locally; flush once at the end so the hot loop stays free of
     // shared-state traffic.
@@ -424,7 +501,7 @@ where
             continue;
         }
 
-        for (next, eid) in g.neighbors(node) {
+        for &(next, eid) in adj.neighbors_of(node) {
             if ws.settled_at(next.index()) {
                 continue;
             }

@@ -10,8 +10,9 @@ use qnet_graph::dcmst::{degree_constrained_kruskal, exact_dcmst};
 use qnet_graph::mst::{kruskal, prim};
 use qnet_graph::steiner::steiner_approximation;
 use qnet_graph::{
-    dijkstra, dijkstra_into, DijkstraConfig, DijkstraWorkspace, EdgeRef, Graph, NegLog, NodeId,
-    UnionFind,
+    dijkstra, dijkstra_csr_into, dijkstra_into, dijkstra_masked_adj_into, dijkstra_masked_into,
+    CsrGraph, DijkstraConfig, DijkstraWorkspace, EdgeId, EdgeRef, Graph, NegLog, NodeId,
+    SearchMask, UnionFind,
 };
 
 /// A random undirected weighted graph: `n` nodes, edge list with weights.
@@ -277,6 +278,93 @@ proptest! {
             prop_assert_eq!(&a.nodes, &b.nodes);
             prop_assert_eq!(&a.edges, &b.edges);
             prop_assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_graph_dijkstra(
+        g in arb_graph(12, 40),
+        src in 0usize..12,
+        forbid in 0usize..12,
+    ) {
+        // The CSR arena must be a faithful re-encoding of the adjacency
+        // lists: same distances, same predecessors (hence bitwise-equal
+        // paths), filtered or not.
+        let csr = CsrGraph::from_graph(&g);
+        let source = NodeId::new(src % g.node_count());
+        let forbidden = NodeId::new(forbid % g.node_count());
+        let cfg = DijkstraConfig { edge_cost: w, can_relay: |n: NodeId| n != forbidden };
+        let mut ws1 = DijkstraWorkspace::new();
+        let mut ws2 = DijkstraWorkspace::new();
+        let lists = dijkstra_into(&mut ws1, &g, source, &cfg).to_run();
+        let arena = dijkstra_csr_into(&mut ws2, &csr, &g, source, &cfg).to_run();
+        prop_assert_eq!(lists, arena);
+    }
+
+    #[test]
+    fn csr_masked_dijkstra_matches_graph_masked_dijkstra(
+        g in arb_graph(12, 40),
+        src in 0usize..12,
+        dead_edges in proptest::collection::vec(0usize..40, 0..6),
+        dead_node in 0usize..12,
+    ) {
+        let csr = CsrGraph::from_graph(&g);
+        let source = NodeId::new(src % g.node_count());
+        let mut mask = SearchMask::new();
+        for e in dead_edges {
+            if e < g.edge_count() {
+                mask.kill_edge(EdgeId::new(e));
+            }
+        }
+        let killed = NodeId::new(dead_node % g.node_count());
+        if killed != source {
+            mask.kill_node(killed);
+        }
+        let cfg = DijkstraConfig::all_nodes(w);
+        let mut ws1 = DijkstraWorkspace::new();
+        let mut ws2 = DijkstraWorkspace::new();
+        let lists = dijkstra_masked_into(&mut ws1, &g, source, &cfg, &mask).to_run();
+        let arena = dijkstra_masked_adj_into(&mut ws2, &csr, &g, source, &cfg, &mask).to_run();
+        prop_assert_eq!(lists, arena);
+    }
+
+    #[test]
+    fn csr_yen_matches_graph_yen(
+        g in arb_graph(8, 20),
+        k in 1usize..6,
+        forbid in 0usize..8,
+    ) {
+        use qnet_graph::ksp::{k_shortest_paths_adj_in, k_shortest_paths_in};
+        let csr = CsrGraph::from_graph(&g);
+        let (s, t) = (NodeId::new(0), NodeId::new(g.node_count() - 1));
+        let forbidden = NodeId::new(forbid % g.node_count());
+        let cfg = DijkstraConfig { edge_cost: w, can_relay: |n: NodeId| n != forbidden };
+        let mut ws1 = DijkstraWorkspace::new();
+        let mut ws2 = DijkstraWorkspace::new();
+        let lists = k_shortest_paths_in(&mut ws1, &g, s, t, k, &cfg);
+        let arena = k_shortest_paths_adj_in(&mut ws2, &csr, &g, s, t, k, &cfg);
+        prop_assert_eq!(lists, arena);
+    }
+
+    #[test]
+    fn pooled_yen_is_thread_count_invariant(
+        g in arb_graph(8, 20),
+        k in 1usize..6,
+    ) {
+        use qnet_graph::ksp::{k_shortest_paths_in, k_shortest_paths_pooled_in};
+        use qnet_pool::Pool;
+        // The pooled Yen merge replays the sequential candidate order, so
+        // the ranked list must be bitwise identical at every pool width.
+        let csr = CsrGraph::from_graph(&g);
+        let (s, t) = (NodeId::new(0), NodeId::new(g.node_count() - 1));
+        let cfg = DijkstraConfig::all_nodes(w);
+        let mut ws = DijkstraWorkspace::new();
+        let sequential = k_shortest_paths_in(&mut ws, &g, s, t, k, &cfg);
+        for threads in [1usize, 3] {
+            let pool = Pool::with_threads(threads);
+            let pooled =
+                k_shortest_paths_pooled_in(&pool, &mut ws, &csr, &g, s, t, k, &cfg);
+            prop_assert_eq!(&pooled, &sequential, "width {} diverged", threads);
         }
     }
 

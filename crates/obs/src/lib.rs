@@ -81,7 +81,10 @@ pub use registry::{
     MetricKey, Registry,
 };
 pub use report::{write_report, RunReport, SpanSnapshot, SCHEMA_VERSION};
-pub use span::{enter, reset_spans, SpanGuard, DEFAULT_SPAN_CAP};
+pub use span::{
+    adopt_span_context, enter, reset_spans, span_context, SpanContext, SpanContextGuard, SpanGuard,
+    DEFAULT_SPAN_CAP,
+};
 pub use trace::{
     record_event, recorder, reset_trace, set_trace_capacity, trace_enabled, trace_snapshot,
     write_trace_jsonl, FlightRecorder, Stamped, TraceEvent, DEFAULT_TRACE_CAPACITY,

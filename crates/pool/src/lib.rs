@@ -1,0 +1,359 @@
+//! Deterministic work-stealing compute pool.
+//!
+//! MUERP's solvers issue *batches* of independent, deterministic
+//! searches (one Algorithm-1 Dijkstra per user source, one Yen spur per
+//! prefix position). This crate runs such a batch across scoped worker
+//! threads with three guarantees the solvers rely on:
+//!
+//! 1. **Index-ordered results** — [`Pool::map`] returns results in the
+//!    input order no matter which worker computed what, so a caller that
+//!    merges results sequentially observes the exact sequence a
+//!    single-threaded run would produce.
+//! 2. **Per-worker scratch state** — each worker owns one context value
+//!    (e.g. a `DijkstraWorkspace`) built by the caller's factory;
+//!    contexts never migrate, so the hot search arenas stay
+//!    thread-private and cache-warm.
+//! 3. **One causal span tree** — the submitting thread's innermost obs
+//!    span is carried into every worker (see
+//!    [`qnet_obs::adopt_span_context`]), so spans recorded on workers
+//!    parent under the span that submitted the batch instead of
+//!    becoming per-thread orphan roots.
+//!
+//! Work distribution is work-stealing over the vendored crossbeam
+//! deques: all task indices start in a shared [`Injector`], workers pull
+//! batches into a local FIFO [`Worker`] deque and steal from siblings
+//! when both run dry. Because the *assignment* of tasks to workers is
+//! racy but the *results* are merged by index, output is bitwise
+//! independent of the thread count — `MUERP_THREADS=1` and `=N` produce
+//! identical results by construction (the single-thread path runs the
+//! very same task closure inline).
+//!
+//! [`Injector`]: crossbeam::deque::Injector
+//! [`Worker`]: crossbeam::deque::Worker
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+
+/// Environment variable overriding the worker-thread count
+/// (`MUERP_THREADS=1` forces the inline sequential path; unset or
+/// unparsable falls back to the machine's available parallelism).
+pub const THREADS_ENV: &str = "MUERP_THREADS";
+
+/// Process-global programmatic override; `0` means "no override".
+/// Sits *between* the env var and auto-detection in priority, so an
+/// operator's explicit `MUERP_THREADS=…` always wins.
+static DEFAULT_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the *default* pool width for [`Pool::from_env`] callers
+/// that did not set [`THREADS_ENV`]. Used by harnesses whose outputs
+/// must be bitwise reproducible across hosts with different core counts
+/// (e.g. `repro profile` pins 1 so allocation tallies stay exact);
+/// `None` removes the override. Explicit [`Pool::with_threads`] calls
+/// and a set `MUERP_THREADS` are unaffected.
+pub fn set_default_threads(threads: Option<usize>) {
+    DEFAULT_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Reads the pool width [`THREADS_ENV`] selects: the variable if set to
+/// a positive integer, else the [`set_default_threads`] override, else
+/// `std::thread::available_parallelism`.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| match DEFAULT_OVERRIDE.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        })
+}
+
+/// A fixed-width compute pool.
+///
+/// The pool is a *configuration*, not a set of live threads: each
+/// [`Pool::map`] call spawns scoped workers for the duration of the
+/// batch and joins them before returning, so borrowed task inputs need
+/// no `'static` bound. Cloning is free.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Pool {
+    /// A pool sized by [`threads_from_env`] (`MUERP_THREADS` override,
+    /// default = available parallelism).
+    pub fn from_env() -> Self {
+        Self::with_threads(threads_from_env())
+    }
+
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads a batch may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when this pool runs everything inline on the caller.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Runs `task` over every item and returns the results **in input
+    /// order**.
+    ///
+    /// `make_ctx` builds one scratch context per worker (called once on
+    /// each worker thread, or once on the caller for the inline path);
+    /// `task` receives the context, the item by value, and the item's
+    /// input index. `task` must be deterministic in `(item, index)` and
+    /// must not care which other tasks previously used its context —
+    /// the contract a generation-stamped workspace satisfies. Under
+    /// that contract the returned vector is bitwise identical for every
+    /// thread count.
+    ///
+    /// With one thread (or fewer than two items) everything runs inline
+    /// on the calling thread: no spawn, no locking, spans recorded as
+    /// plain children of the current span.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any `task` invocation (the whole batch
+    /// joins first).
+    pub fn map<T, R, C, FC, FT>(&self, items: Vec<T>, make_ctx: FC, task: FT) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        FC: Fn() -> C + Sync,
+        FT: Fn(&mut C, T, usize) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            let mut ctx = make_ctx();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| task(&mut ctx, item, i))
+                .collect();
+        }
+
+        let workers = self.threads.min(n);
+        qnet_obs::counter!("pool.batches");
+        qnet_obs::counter!("pool.tasks"; n as u64);
+        let span_ctx = qnet_obs::span_context();
+
+        // Items live in per-index handoff slots; exactly one worker
+        // takes each index, so every take sees `Some`.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let injector: Injector<usize> = Injector::new();
+        for i in 0..n {
+            injector.push(i);
+        }
+        let queues: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = queues.iter().map(|q| q.stealer()).collect();
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let produced = crossbeam::scope(|s| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .enumerate()
+                .map(|(w, local)| {
+                    let injector = &injector;
+                    let stealers = &stealers;
+                    let slots = &slots;
+                    let make_ctx = &make_ctx;
+                    let task = &task;
+                    s.spawn(move |_| {
+                        let _adopted = qnet_obs::adopt_span_context(span_ctx);
+                        let mut ctx = make_ctx();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let next = local
+                                .pop()
+                                .or_else(|| injector.steal_batch_and_pop(&local).success())
+                                .or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|&(j, _)| j != w)
+                                        .find_map(|(_, st)| st.steal().success())
+                                });
+                            let Some(i) = next else { break };
+                            let item = slots[i]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .take()
+                                .expect("each task index is dispatched exactly once");
+                            out.push((i, task(&mut ctx, item, i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker result"))
+                .collect::<Vec<(usize, R)>>()
+        })
+        .expect("pool worker panicked");
+
+        for (i, r) in produced {
+            debug_assert!(results[i].is_none(), "task {i} produced twice");
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never ran")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(
+            items,
+            || (),
+            |(), x, i| {
+                assert_eq!(x, i);
+                x * 3
+            },
+        );
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_matches_many_threads_bitwise() {
+        let items: Vec<u64> = (0..57).collect();
+        let run = |threads| {
+            Pool::with_threads(threads).map(
+                items.clone(),
+                || 0u64,
+                |scratch, x, i| {
+                    // Scratch state is reused across tasks on one worker; the
+                    // result must not depend on it (contract), only on x, i.
+                    *scratch += 1;
+                    x.wrapping_mul(0x9e37_79b9) ^ (i as u64)
+                },
+            )
+        };
+        let seq = run(1);
+        assert_eq!(seq, run(2));
+        assert_eq!(seq, run(8));
+    }
+
+    #[test]
+    fn context_factory_runs_once_per_worker() {
+        let made = AtomicUsize::new(0);
+        let pool = Pool::with_threads(3);
+        let out = pool.map(
+            vec![(); 64],
+            || made.fetch_add(1, Ordering::Relaxed),
+            |_, (), _| (),
+        );
+        assert_eq!(out.len(), 64);
+        // At most one context per worker; at least one worker ran.
+        let n = made.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "made {n} contexts");
+    }
+
+    #[test]
+    fn inline_path_for_single_item_and_single_thread() {
+        let made = AtomicUsize::new(0);
+        let out = Pool::with_threads(8).map(
+            vec![41usize],
+            || made.fetch_add(1, Ordering::Relaxed),
+            |_, x, _| x + 1,
+        );
+        assert_eq!(out, vec![42]);
+        assert_eq!(made.load(Ordering::Relaxed), 1, "single item runs inline");
+        let out = Pool::with_threads(1).map(vec![1, 2, 3], || (), |_, x: i32, _| -x);
+        assert_eq!(out, vec![-1, -2, -3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn task_panic_propagates() {
+        Pool::with_threads(2).map(
+            vec![0usize; 8],
+            || (),
+            |_, _, i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn worker_spans_parent_under_the_submitting_span() {
+        // Serialize against other obs-touching tests in this binary.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        qnet_obs::set_level(qnet_obs::ObsLevel::Full);
+        qnet_obs::reset_spans();
+        {
+            let _submit = qnet_obs::span!("pool.test.submit");
+            Pool::with_threads(3).map(
+                vec![(); 16],
+                || (),
+                |_, (), _| {
+                    let _task = qnet_obs::span!("pool.test.task");
+                },
+            );
+        }
+        let report = qnet_obs::RunReport::capture("pool-span-adoption");
+        qnet_obs::set_level(qnet_obs::ObsLevel::Counters);
+        qnet_obs::reset_spans();
+        let submit = report
+            .spans
+            .iter()
+            .position(|s| s.name == "pool.test.submit")
+            .expect("submit span recorded");
+        let tasks: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "pool.test.task")
+            .collect();
+        assert_eq!(tasks.len(), 16);
+        for t in tasks {
+            assert_eq!(
+                t.parent,
+                Some(submit),
+                "worker task spans must join the submitter's causal tree"
+            );
+        }
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Only exercises the parser helpers, not the process env.
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(Pool::with_threads(1).is_sequential());
+        assert!(!Pool::with_threads(2).is_sequential());
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for `crossbeam-deque`: work-stealing queues.
+//!
+//! Mirrors the subset of the `crossbeam::deque` API the workspace uses —
+//! [`Worker`]/[`Stealer`] pairs plus a shared [`Injector`] — with the
+//! same ownership shape (a `Worker` is `!Sync` per owner thread, its
+//! `Stealer`s are cloneable and shared). The implementation is a plain
+//! mutex-protected ring rather than the lock-free Chase-Lev deque: the
+//! workspace steals *coarse* tasks (whole Dijkstra runs), so queue
+//! traffic is a few dozen operations per batch and contention is not a
+//! factor. Semantics (LIFO pop, FIFO steal, batch injection) match the
+//! real crate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks ignoring poisoning: the queues hold plain tasks, so a panicked
+/// holder cannot leave them in a logically broken state.
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The attempt lost a race; retrying may succeed. The mutex-based
+    /// stand-in never produces this, but callers written against the
+    /// real API must still handle it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A worker-owned queue: the owner pushes and pops LIFO at one end,
+/// thieves steal FIFO from the other.
+pub struct Worker<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new FIFO worker queue (the only flavor the workspace uses; the
+    /// owner's `pop` takes from the same end thieves steal from, so
+    /// task order matches injection order).
+    pub fn new_fifo() -> Self {
+        Worker {
+            shared: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A [`Stealer`] handle for this queue; clone freely across threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.shared).push_back(task);
+    }
+
+    /// Pops the next task in FIFO order, `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.shared).pop_front()
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.shared).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.shared).len()
+    }
+}
+
+/// A shared handle that steals tasks from a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the opposite end of the owner's pops.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.shared).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.shared).is_empty()
+    }
+}
+
+/// A shared injection queue every worker can steal from, mirroring
+/// `crossbeam_deque::Injector`.
+pub struct Injector<T> {
+    shared: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            shared: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the global queue (FIFO).
+    pub fn push(&self, task: T) {
+        lock(&self.shared).push_back(task);
+    }
+
+    /// Steals one task from the global queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.shared).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks into `dest`, returning the first of them
+    /// (the real crate's `steal_batch_and_pop`). The batch size is half
+    /// the queue, at least one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.shared);
+        let n = q.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        let take = (n / 2).max(1);
+        let first = q.pop_front().expect("checked non-empty");
+        if take > 1 {
+            let mut dq = lock(&dest.shared);
+            for _ in 1..take {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.shared).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.shared).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pop_and_steal_share_fifo_order() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_half() {
+        let inj = Injector::new();
+        for i in 0..8 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        // 8 queued: pop 1, move 3 more (half of 8 = 4 total).
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(w.pop(), Some(1));
+        // Empty injector reports Empty.
+        let empty: Injector<u32> = Injector::new();
+        let w2: Worker<u32> = Worker::new_fifo();
+        assert!(empty.steal_batch_and_pop(&w2).is_empty());
+        assert_eq!(empty.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_no_tasks() {
+        let inj = Injector::new();
+        const N: usize = 1000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let task = local
+                            .pop()
+                            .or_else(|| match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => Some(t),
+                                _ => None,
+                            });
+                        match task {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), N);
+    }
+}

@@ -1,11 +1,14 @@
-//! Offline stand-in for `crossbeam`'s scoped threads.
+//! Offline stand-in for `crossbeam`'s scoped threads and deques.
 //!
 //! [`scope`] wraps `std::thread::scope` behind crossbeam's signature:
 //! the closure receives a [`Scope`] handle whose `spawn` passes the scope
 //! back to the spawned closure, and the call returns `Err` (instead of
-//! unwinding) when any spawned thread panicked.
+//! unwinding) when any spawned thread panicked. [`deque`] provides the
+//! `Worker`/`Stealer`/`Injector` work-stealing queues.
 
 #![forbid(unsafe_code)]
+
+pub mod deque;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
