@@ -15,13 +15,21 @@
 //!    design budget (5% allowed, absorbing scheduler noise); a
 //!    regression here means the off path stopped being a single
 //!    relaxed load.
+//! 3. **Windowed series:** the same off-path question for
+//!    [`qnet_obs::TimeSeries`] recording sites gated behind
+//!    `enabled(Counters)`, plus the on-path ns-per-op cost of
+//!    `rate_add`/`gauge`/`latency`/`advance_to`. The off-path ratio is
+//!    asserted under the same 5% noise budget and the numbers are
+//!    tracked in `BENCH_pr8.json` at the repo root.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use muerp_bench::scaled_network;
+use muerp_bench::{measure_ns_median, quick_mode, scaled_network, write_bench_report};
 use muerp_core::prelude::*;
-use qnet_obs::ObsLevel;
+use qnet_obs::{ObsLevel, TimeSeries, TimeSeriesConfig};
+use serde_json::Value;
 
 fn bench_solve_per_level(c: &mut Criterion) {
     let net = scaled_network(50, 42);
@@ -128,5 +136,113 @@ fn assert_off_path_is_free(_c: &mut Criterion) {
     qnet_obs::set_level(ObsLevel::Counters);
 }
 
-criterion_group!(benches, bench_solve_per_level, assert_off_path_is_free);
+/// The synthetic kernel with windowed-series recording sites, each
+/// gated exactly like a real driver would gate an optional series:
+/// behind [`qnet_obs::enabled`]. At `MUERP_OBS=off` every site must
+/// reduce to one relaxed load — the same contract the counter/span
+/// sites keep.
+fn run_windowed_instrumented(ts: &mut TimeSeries) -> (u64, std::time::Duration) {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ITERS {
+        acc = acc.wrapping_add(kernel_step(i));
+        if qnet_obs::enabled(ObsLevel::Counters) {
+            ts.advance_to(i);
+            ts.rate_add("bench.windowed.steps", 1);
+            ts.gauge("bench.windowed.acc", (acc & 0xff) as f64);
+            ts.latency("bench.windowed.step_ns", acc & 0xff);
+        }
+    }
+    (std::hint::black_box(acc), start.elapsed())
+}
+
+/// A ring big enough that the on-path loop never allocates after the
+/// first window, small enough that eviction (the worst on-path case)
+/// actually happens.
+fn bench_series() -> TimeSeries {
+    TimeSeries::new(TimeSeriesConfig {
+        window_slots: 64,
+        capacity: 32,
+    })
+}
+
+fn windowed_series_costs(_c: &mut Criterion) {
+    // Off-path: paired A/B against the plain kernel, same protocol as
+    // `assert_off_path_is_free` — interleaved rounds, median ratio.
+    qnet_obs::set_level(ObsLevel::Off);
+    let rounds = if quick_mode() { 7 } else { ROUNDS };
+    let mut series = bench_series();
+    let mut ratios = Vec::with_capacity(rounds);
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        let (a, t_plain) = run_plain();
+        let (b, t_inst) = run_windowed_instrumented(&mut series);
+        assert_eq!(a, b, "gated series sites must not change results");
+        checksum ^= a;
+        ratios.push(t_inst.as_secs_f64() / t_plain.as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let off_ratio = ratios[rounds / 2];
+
+    println!(
+        "obs_overhead/windowed_off_path: median paired ratio {off_ratio:.4} over {rounds} rounds \
+         (expected ~1.01, budget 1.05)"
+    );
+    assert!(
+        off_ratio < 1.05,
+        "gated TimeSeries sites cost {:.2}% at MUERP_OBS=off, blowing the ~1% design budget \
+         (5% with noise allowance); the enabled() gate stopped being a single relaxed load",
+        (off_ratio - 1.0) * 100.0
+    );
+
+    // On-path: ns per recording op at the counters level. `advance_to`
+    // is measured on a monotonically growing slot with window_slots=64,
+    // so roughly 1 in 64 calls closes (and eventually evicts) a window
+    // — the amortized cost a per-slot driver loop actually pays.
+    qnet_obs::set_level(ObsLevel::Counters);
+    let mut series = bench_series();
+    let rate_ns = measure_ns_median(|| series.rate_add("bench.windowed.steps", 1));
+    let gauge_ns = measure_ns_median(|| series.gauge("bench.windowed.acc", 1.0));
+    let latency_ns = measure_ns_median(|| series.latency("bench.windowed.step_ns", 17));
+    let mut slot = 0u64;
+    let advance_ns = measure_ns_median(|| {
+        slot += 1;
+        series.advance_to(slot);
+    });
+    std::hint::black_box(series.finish());
+
+    let mut on_path: BTreeMap<String, Value> = BTreeMap::new();
+    on_path.insert("rate_add".into(), Value::from(rate_ns));
+    on_path.insert("gauge".into(), Value::from(gauge_ns));
+    on_path.insert("latency".into(), Value::from(latency_ns));
+    on_path.insert("advance_to".into(), Value::from(advance_ns));
+
+    let mut off_path: BTreeMap<String, Value> = BTreeMap::new();
+    off_path.insert("median_paired_ratio".into(), Value::from(off_ratio));
+    off_path.insert("budget_ratio".into(), Value::from(1.05));
+    off_path.insert("rounds".into(), Value::from(rounds as u64));
+    off_path.insert("iters_per_round".into(), Value::from(ITERS));
+
+    let mut report: BTreeMap<String, Value> = BTreeMap::new();
+    report.insert("bench".into(), Value::from("obs_overhead/windowed_series"));
+    report.insert("pr".into(), Value::from(8u64));
+    report.insert("quick".into(), Value::from(quick_mode()));
+    report.insert(
+        "unit".into(),
+        Value::from("off_path: paired time ratio; on_path_ns: ns per op at counters level"),
+    );
+    report.insert("off_path".into(), Value::Object(off_path));
+    report.insert("on_path_ns".into(), Value::Object(on_path));
+
+    let path = write_bench_report("BENCH_pr8.json", &Value::Object(report));
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(
+    benches,
+    bench_solve_per_level,
+    assert_off_path_is_free,
+    windowed_series_costs
+);
 criterion_main!(benches);

@@ -6,8 +6,10 @@ pub mod fidelity;
 pub mod multi_group;
 pub mod online;
 pub mod purified;
+pub mod stream;
 
 pub use fidelity::{werner_swap_fidelity, FidelityAwarePrim, FidelityModel};
 pub use multi_group::{route_groups, GroupOutcome, GroupStrategy};
 pub use online::{simulate_online, OnlineConfig, OnlineStats};
 pub use purified::{purification_plan, PurificationPlan, PurifiedPrim};
+pub use stream::{simulate_stream, StreamConfig, StreamOutcome, StreamStats};

@@ -168,6 +168,13 @@ pub fn simulate_online(
             let size = rng.random_range(cfg.group_size.0..=cfg.group_size.1);
             if free.len() < size {
                 stats.blocked_no_users += 1;
+                if qnet_obs::trace_enabled() {
+                    qnet_obs::record_event(qnet_obs::TraceEvent::Blocked {
+                        reason: "no-users",
+                        group_size: size as u32,
+                        at_slot: now,
+                    });
+                }
             } else {
                 free.shuffle(&mut rng);
                 let members: Vec<_> = free[..size].to_vec();
@@ -182,7 +189,16 @@ pub fn simulate_online(
                             members,
                         });
                     }
-                    None => stats.blocked_capacity += 1,
+                    None => {
+                        stats.blocked_capacity += 1;
+                        if qnet_obs::trace_enabled() {
+                            qnet_obs::record_event(qnet_obs::TraceEvent::Blocked {
+                                reason: "capacity",
+                                group_size: size as u32,
+                                at_slot: now,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -338,6 +354,66 @@ mod tests {
         let a = simulate_online(&net(), OnlineConfig::default(), 1_000, 5);
         let b = simulate_online(&net(), OnlineConfig::default(), 1_000, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocked_decisions_land_in_the_flight_recorder() {
+        qnet_obs::set_level(qnet_obs::ObsLevel::Trace);
+        qnet_obs::reset_trace();
+        // Tag this thread with a sentinel so the assertion stays exact
+        // even if a concurrent test emits trace events into the shared
+        // ring.
+        qnet_obs::record_event(qnet_obs::TraceEvent::Blocked {
+            reason: "sentinel",
+            group_size: 0,
+            at_slot: u64::MAX,
+        });
+        let slots = 2_000;
+        let stats = simulate_online(
+            &net(),
+            OnlineConfig {
+                arrival_prob: 0.9,
+                hold_slots: (30, 60),
+                ..OnlineConfig::default()
+            },
+            slots,
+            7,
+        );
+        let events = qnet_obs::trace_snapshot();
+        qnet_obs::set_level(qnet_obs::ObsLevel::Counters);
+        qnet_obs::reset_trace();
+
+        let me = events
+            .iter()
+            .find_map(|s| match s.event {
+                qnet_obs::TraceEvent::Blocked {
+                    reason: "sentinel", ..
+                } => Some(s.thread),
+                _ => None,
+            })
+            .expect("sentinel event recorded");
+        let mut no_users = 0u64;
+        let mut capacity = 0u64;
+        for s in events.iter().filter(|s| s.thread == me) {
+            if let qnet_obs::TraceEvent::Blocked {
+                reason,
+                group_size,
+                at_slot,
+            } = s.event
+            {
+                match reason {
+                    "sentinel" => continue,
+                    "no-users" => no_users += 1,
+                    "capacity" => capacity += 1,
+                    other => panic!("unexpected block reason {other}"),
+                }
+                assert!(at_slot < slots, "block stamped with its slot");
+                assert!(group_size >= 2, "block carries the group size");
+            }
+        }
+        assert!(stats.blocked() > 0, "heavy load must block");
+        assert_eq!(no_users, stats.blocked_no_users);
+        assert_eq!(capacity, stats.blocked_capacity);
     }
 
     #[test]

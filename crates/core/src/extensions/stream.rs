@@ -1,0 +1,583 @@
+//! Sustained-load streaming workload — the telemetry-driving sibling of
+//! [`online`](crate::extensions::online).
+//!
+//! Where `simulate_online` answers "what is the blocking ratio of this
+//! workload", this module answers "what does the run look like *while
+//! it happens*": the same admit/hold/release session model, but with a
+//! trace-realistic arrival process and full streaming instrumentation:
+//!
+//! * **diurnal modulation** — the per-slot arrival probability follows
+//!   `base · (1 + amplitude · sin(2π · slot / period))`, clamped to
+//!   `[0, 1]`, so load sweeps through quiet troughs and saturating
+//!   peaks within one run;
+//! * **heavy-tailed group sizes** — sizes are drawn from a truncated
+//!   power law (`P(k) ∝ k^-alpha` over the configured range): mostly
+//!   pairs, occasionally large groups that stress capacity;
+//! * **hot-spot user regions** — a configurable fraction of users (by
+//!   network order) is oversampled by a weight factor, concentrating
+//!   contention the way real tenant populations do.
+//!
+//! Every slot feeds a [`TimeSeries`]: arrival/admission/block rates,
+//! active-session / free-qubit / cache-hit-rate gauges, and a
+//! per-window admission-latency histogram. Latency is measured in
+//! **finder searches per admission decision** (the
+//! [`ChannelFinderCache::search_count`] delta), not wall-clock — the
+//! repo's deterministic latency proxy, byte-identical across machines
+//! and thread counts.
+//!
+//! `Blocked` decision points are sampled 1-in-N through a
+//! [`TraceSampler`] so a long saturated run cannot flood the flight
+//! recorder; the sampler's cadence is consulted on every block
+//! regardless of obs level, so [`StreamStats::sampled_out`] is
+//! deterministic for a given seed.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qnet_graph::NodeId;
+use qnet_obs::{TimeSeries, TimeSeriesConfig, TimeSeriesSection, TraceSampler};
+
+use crate::algorithms::{CacheEfficiency, ChannelFinderCache};
+use crate::channel::{CapacityMap, Channel};
+use crate::model::QuantumNetwork;
+use crate::tree::EntanglementTree;
+
+/// Workload, service, and telemetry parameters of a streaming run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Total virtual-time slots to simulate.
+    pub slots: u64,
+    /// Time-series window width in slots.
+    pub window_slots: u64,
+    /// Mean per-slot arrival probability (the diurnal baseline).
+    pub base_arrival: f64,
+    /// Relative swing of the diurnal cycle, in `[0, 1]`.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle in slots.
+    pub diurnal_period: u64,
+    /// Inclusive range of requested group sizes.
+    pub group_size: (usize, usize),
+    /// Power-law exponent of the group-size distribution
+    /// (`P(k) ∝ k^-alpha`; 0 = uniform).
+    pub group_alpha: f64,
+    /// Inclusive range of session durations in slots.
+    pub hold_slots: (u64, u64),
+    /// Fraction of users (by network order) forming the hot region.
+    pub hotspot_fraction: f64,
+    /// Sampling weight of a hot-region user relative to a cold one
+    /// (≥ 1).
+    pub hotspot_weight: f64,
+    /// Trace-sampling period: every N-th `Blocked` decision point is
+    /// admitted to the flight recorder.
+    pub sample_every: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            slots: 2048,
+            window_slots: 64,
+            base_arrival: 0.35,
+            diurnal_amplitude: 0.6,
+            diurnal_period: 512,
+            group_size: (2, 5),
+            group_alpha: 1.8,
+            hold_slots: (5, 20),
+            hotspot_fraction: 0.3,
+            hotspot_weight: 4.0,
+            sample_every: 8,
+        }
+    }
+}
+
+impl StreamConfig {
+    fn validate(&self) {
+        assert!(self.slots >= 1, "a stream needs at least one slot");
+        assert!(
+            self.window_slots >= 1,
+            "windows must span at least one slot"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.base_arrival),
+            "base arrival probability must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.diurnal_amplitude),
+            "diurnal amplitude must be in [0, 1]"
+        );
+        assert!(self.diurnal_period >= 1, "diurnal period must be positive");
+        assert!(
+            2 <= self.group_size.0 && self.group_size.0 <= self.group_size.1,
+            "group sizes must satisfy 2 ≤ min ≤ max"
+        );
+        assert!(self.group_alpha >= 0.0, "group alpha must be non-negative");
+        assert!(
+            1 <= self.hold_slots.0 && self.hold_slots.0 <= self.hold_slots.1,
+            "hold durations must satisfy 1 ≤ min ≤ max"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hotspot_fraction),
+            "hotspot fraction must be in [0, 1]"
+        );
+        assert!(self.hotspot_weight >= 1.0, "hotspot weight must be ≥ 1");
+        assert!(self.sample_every >= 1, "sampling period must be positive");
+    }
+
+    /// The diurnally modulated arrival probability at `slot`.
+    pub fn arrival_at(&self, slot: u64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (slot % self.diurnal_period) as f64
+            / self.diurnal_period as f64;
+        (self.base_arrival * (1.0 + self.diurnal_amplitude * phase.sin())).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregate statistics of one streaming run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests admitted (routed successfully).
+    pub admitted: u64,
+    /// Requests blocked because too few users were free of sessions.
+    pub blocked_no_users: u64,
+    /// Requests blocked because no capacity-respecting tree existed.
+    pub blocked_capacity: u64,
+    /// Mean entanglement rate over admitted sessions.
+    pub mean_session_rate: f64,
+    /// Mean number of concurrently active sessions (per slot).
+    pub mean_active_sessions: f64,
+    /// Peak concurrent sessions.
+    pub peak_active_sessions: usize,
+    /// Finder searches executed over the whole run.
+    pub total_searches: u64,
+    /// `Blocked` decision points dropped by the trace sampler.
+    pub sampled_out: u64,
+    /// Finder-cache hit/refresh/fill tallies over the run.
+    pub cache: CacheEfficiency,
+}
+
+impl StreamStats {
+    /// Total blocked requests (either reason).
+    pub fn blocked(&self) -> u64 {
+        self.blocked_no_users + self.blocked_capacity
+    }
+
+    /// Fraction of arrived requests that were blocked.
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.blocked() as f64 / self.arrived as f64
+        }
+    }
+}
+
+/// Everything a streaming run produces: the run-level totals and the
+/// windowed time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamOutcome {
+    /// Run-level aggregate statistics.
+    pub stats: StreamStats,
+    /// The frozen per-window series (no windows are evicted: the ring
+    /// is sized to hold the whole run).
+    pub series: TimeSeriesSection,
+}
+
+struct Session {
+    tree: EntanglementTree,
+    expires_at: u64,
+    members: Vec<NodeId>,
+}
+
+/// Runs the streaming workload for [`StreamConfig::slots`] slots.
+///
+/// Deterministic for a given `seed`: the virtual clock, the RNG, and
+/// the search-count latency proxy are all independent of wall-clock
+/// and thread count (admission routing is sequential by design).
+///
+/// # Panics
+///
+/// Panics on out-of-range configuration or when the network has fewer
+/// users than the minimum group size.
+pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> StreamOutcome {
+    cfg.validate();
+    assert!(
+        net.user_count() >= cfg.group_size.0,
+        "network has {} users, groups need at least {}",
+        net.user_count(),
+        cfg.group_size.0
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut capacity = CapacityMap::new(net);
+    let mut cache = ChannelFinderCache::new(net);
+    let mut sampler = TraceSampler::every(cfg.sample_every);
+    let mut series = TimeSeries::new(TimeSeriesConfig {
+        window_slots: cfg.window_slots,
+        // Hold every window of the run: the section is the product
+        // here, not a bounded diagnostic ring.
+        capacity: (cfg.slots / cfg.window_slots + 2) as usize,
+    });
+    // Register the rate keys up front so every window — including
+    // event-free ones before the first arrival — reports explicit
+    // zeros.
+    for key in [
+        "arrivals",
+        "admitted",
+        "blocked_no_users",
+        "blocked_capacity",
+    ] {
+        series.rate_add(key, 0);
+    }
+
+    let users = net.users().to_vec();
+    let hot_count = (cfg.hotspot_fraction * users.len() as f64).ceil() as usize;
+
+    let mut active: Vec<Session> = Vec::new();
+    let mut stats = StreamStats::default();
+    let mut session_rate_sum = 0.0f64;
+    let mut active_slot_sum = 0u64;
+
+    for now in 0..cfg.slots {
+        series.advance_to(now);
+
+        // Departures first: free the qubits of expired sessions.
+        let mut kept = Vec::with_capacity(active.len());
+        for session in active.drain(..) {
+            if session.expires_at <= now {
+                for c in &session.tree.channels {
+                    capacity.release(c);
+                }
+            } else {
+                kept.push(session);
+            }
+        }
+        active = kept;
+
+        if rng.random_bool(cfg.arrival_at(now)) {
+            stats.arrived += 1;
+            series.rate_add("arrivals", 1);
+            qnet_obs::counter!("core.stream.arrivals");
+            let busy: HashSet<NodeId> = active
+                .iter()
+                .flat_map(|s| s.members.iter().copied())
+                .collect();
+            let free: Vec<(usize, NodeId)> = users
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, u)| !busy.contains(u))
+                .collect();
+            let size = sample_group_size(&mut rng, cfg.group_size, cfg.group_alpha);
+            if free.len() < size {
+                stats.blocked_no_users += 1;
+                series.rate_add("blocked_no_users", 1);
+                qnet_obs::counter!("core.stream.blocked", reason = "no_users");
+                emit_block(&mut sampler, "no-users", size, now);
+            } else {
+                let members = sample_members(&mut rng, &free, size, hot_count, cfg.hotspot_weight);
+                let before = cache.search_count();
+                let routed = route_group_cached(net, &mut cache, &mut capacity, &members);
+                let searches = cache.search_count() - before;
+                series.latency("admission_searches", searches);
+                qnet_obs::histogram!("core.stream.admission_searches", searches);
+                match routed {
+                    Some(tree) => {
+                        stats.admitted += 1;
+                        series.rate_add("admitted", 1);
+                        qnet_obs::counter!("core.stream.admitted");
+                        session_rate_sum += tree.rate().value();
+                        let hold = rng.random_range(cfg.hold_slots.0..=cfg.hold_slots.1);
+                        active.push(Session {
+                            tree,
+                            expires_at: now + hold,
+                            members,
+                        });
+                    }
+                    None => {
+                        stats.blocked_capacity += 1;
+                        series.rate_add("blocked_capacity", 1);
+                        qnet_obs::counter!("core.stream.blocked", reason = "capacity");
+                        emit_block(&mut sampler, "capacity", size, now);
+                    }
+                }
+            }
+        }
+
+        active_slot_sum += active.len() as u64;
+        stats.peak_active_sessions = stats.peak_active_sessions.max(active.len());
+        series.gauge("active_sessions", active.len() as f64);
+        series.gauge("free_qubits", free_qubit_total(net, &capacity));
+        series.gauge("cache_hit_rate", cache.efficiency().hit_rate());
+    }
+
+    stats.mean_session_rate = if stats.admitted == 0 {
+        0.0
+    } else {
+        session_rate_sum / stats.admitted as f64
+    };
+    stats.mean_active_sessions = active_slot_sum as f64 / cfg.slots as f64;
+    stats.total_searches = cache.search_count();
+    stats.sampled_out = sampler.sampled_out();
+    stats.cache = cache.efficiency();
+    StreamOutcome {
+        stats,
+        series: series.finish(),
+    }
+}
+
+/// Consults the sampler on every block (so the cadence and the
+/// `sampled_out` tally are level-independent) and records the admitted
+/// ones when tracing is on.
+fn emit_block(sampler: &mut TraceSampler, reason: &'static str, size: usize, now: u64) {
+    if sampler.admit() && qnet_obs::trace_enabled() {
+        qnet_obs::record_event(qnet_obs::TraceEvent::Blocked {
+            reason,
+            group_size: size as u32,
+            at_slot: now,
+        });
+    }
+}
+
+/// Draws a group size from the truncated power law `P(k) ∝ k^-alpha`
+/// over `[lo, hi]`.
+fn sample_group_size(rng: &mut StdRng, (lo, hi): (usize, usize), alpha: f64) -> usize {
+    if lo == hi {
+        return lo;
+    }
+    let total: f64 = (lo..=hi).map(|k| (k as f64).powf(-alpha)).sum();
+    let mut x = rng.random_range(0.0..total);
+    for k in lo..=hi {
+        let w = (k as f64).powf(-alpha);
+        if x < w {
+            return k;
+        }
+        x -= w;
+    }
+    hi
+}
+
+/// Weighted sampling of `size` members without replacement: users whose
+/// network-order position is below `hot_count` carry `hot_weight`, the
+/// rest weight 1.
+fn sample_members(
+    rng: &mut StdRng,
+    free: &[(usize, NodeId)],
+    size: usize,
+    hot_count: usize,
+    hot_weight: f64,
+) -> Vec<NodeId> {
+    let mut pool: Vec<(f64, NodeId)> = free
+        .iter()
+        .map(|&(pos, u)| (if pos < hot_count { hot_weight } else { 1.0 }, u))
+        .collect();
+    let mut members = Vec::with_capacity(size);
+    for _ in 0..size {
+        let total: f64 = pool.iter().map(|&(w, _)| w).sum();
+        let mut x = rng.random_range(0.0..total);
+        let mut pick = pool.len() - 1;
+        for (i, &(w, _)) in pool.iter().enumerate() {
+            if x < w {
+                pick = i;
+                break;
+            }
+            x -= w;
+        }
+        members.push(pool.swap_remove(pick).1);
+    }
+    members
+}
+
+/// Total free qubits across the network's switches.
+fn free_qubit_total(net: &QuantumNetwork, capacity: &CapacityMap) -> f64 {
+    net.switches().map(|s| capacity.free(s) as u64).sum::<u64>() as f64
+}
+
+/// Prim-style group routing over shared residual capacity, served
+/// through the finder cache (epoch-keyed, so trial capacities never
+/// alias); reserves the qubits on success, touches nothing on failure.
+fn route_group_cached<'n>(
+    net: &'n QuantumNetwork,
+    cache: &mut ChannelFinderCache<'n>,
+    capacity: &mut CapacityMap,
+    members: &[NodeId],
+) -> Option<EntanglementTree> {
+    let mut in_tree = vec![false; net.graph().node_count()];
+    in_tree[members[0].index()] = true;
+    let mut tree = EntanglementTree::new();
+    let mut trial_capacity = capacity.clone();
+    for _ in 1..members.len() {
+        let mut best: Option<Channel> = None;
+        for &src in members.iter().filter(|u| in_tree[u.index()]) {
+            let finder = cache.finder(&trial_capacity, src);
+            for &dst in members.iter().filter(|u| !in_tree[u.index()]) {
+                if let Some(c) = finder.channel_to(dst) {
+                    if best.as_ref().is_none_or(|b| c.rate > b.rate) {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+        let c = best?;
+        trial_capacity.reserve(&c);
+        let newcomer = if in_tree[c.source().index()] {
+            c.destination()
+        } else {
+            c.source()
+        };
+        in_tree[newcomer.index()] = true;
+        tree.push(c);
+    }
+    *capacity = trial_capacity;
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkSpec;
+
+    fn net() -> QuantumNetwork {
+        NetworkSpec::paper_default().build(52)
+    }
+
+    fn short_cfg() -> StreamConfig {
+        StreamConfig {
+            slots: 512,
+            window_slots: 32,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = simulate_stream(&net(), short_cfg(), 9);
+        let b = simulate_stream(&net(), short_cfg(), 9);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn accounting_adds_up_and_windows_cover_the_run() {
+        let out = simulate_stream(&net(), short_cfg(), 10);
+        let stats = out.stats;
+        assert!(stats.arrived > 0);
+        assert_eq!(stats.arrived, stats.admitted + stats.blocked());
+        assert!((0.0..=1.0).contains(&stats.blocking_ratio()));
+        assert!(stats.mean_active_sessions <= stats.peak_active_sessions as f64);
+        assert_eq!(out.series.evicted, 0, "the ring holds the whole run");
+        assert_eq!(out.series.windows.len(), 512 / 32);
+        // Window rates sum back to the run totals (nothing evicted).
+        let sum = |key: &str| -> u64 { out.series.windows.iter().map(|w| w.rates[key]).sum() };
+        assert_eq!(sum("arrivals"), stats.arrived);
+        assert_eq!(sum("admitted"), stats.admitted);
+        assert_eq!(sum("blocked_no_users"), stats.blocked_no_users);
+        assert_eq!(sum("blocked_capacity"), stats.blocked_capacity);
+        // And the merged latency histogram saw every routed decision.
+        assert_eq!(
+            out.series.merged_latency("admission_searches").count(),
+            stats.admitted + stats.blocked_capacity
+        );
+    }
+
+    #[test]
+    fn every_window_reports_registered_series() {
+        let out = simulate_stream(&net(), short_cfg(), 11);
+        for w in &out.series.windows {
+            for key in [
+                "arrivals",
+                "admitted",
+                "blocked_no_users",
+                "blocked_capacity",
+            ] {
+                assert!(w.rates.contains_key(key), "window {} lacks {key}", w.index);
+            }
+            for key in ["active_sessions", "free_qubits", "cache_hit_rate"] {
+                assert!(w.gauges.contains_key(key), "window {} lacks {key}", w.index);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_clamps_and_cycles() {
+        let cfg = StreamConfig {
+            base_arrival: 0.7,
+            diurnal_amplitude: 0.6,
+            diurnal_period: 400,
+            ..StreamConfig::default()
+        };
+        // Peak overshoots 1.0 and clamps; trough stays positive.
+        assert_eq!(cfg.arrival_at(100), 1.0);
+        let trough = cfg.arrival_at(300);
+        assert!((trough - 0.7 * 0.4).abs() < 1e-9);
+        // One full period later the cycle repeats exactly.
+        assert_eq!(cfg.arrival_at(137), cfg.arrival_at(537));
+    }
+
+    #[test]
+    fn group_sizes_follow_the_power_law() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 6];
+        for _ in 0..4_000 {
+            let k = sample_group_size(&mut rng, (2, 5), 1.8);
+            assert!((2..=5).contains(&k));
+            counts[k] += 1;
+        }
+        assert!(
+            counts[2] > 2 * counts[5],
+            "alpha=1.8 must strongly favor pairs: {counts:?}"
+        );
+        // Degenerate range needs no draw at all.
+        assert_eq!(sample_group_size(&mut rng, (3, 3), 1.8), 3);
+    }
+
+    #[test]
+    fn hot_users_are_oversampled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let free: Vec<(usize, NodeId)> = (0..20_usize)
+            .map(|i| (i, qnet_graph::NodeId::new(i)))
+            .collect();
+        let hot_count = 5;
+        let mut hot_picks = 0u64;
+        let mut total = 0u64;
+        for _ in 0..2_000 {
+            let members = sample_members(&mut rng, &free, 3, hot_count, 8.0);
+            assert_eq!(members.len(), 3);
+            let distinct: HashSet<_> = members.iter().collect();
+            assert_eq!(distinct.len(), 3, "sampling is without replacement");
+            hot_picks += members.iter().filter(|m| m.index() < hot_count).count() as u64;
+            total += 3;
+        }
+        // 25% of users carry weight 8: expect well over half the picks.
+        assert!(
+            hot_picks * 2 > total,
+            "hot region under-sampled: {hot_picks}/{total}"
+        );
+    }
+
+    #[test]
+    fn sampler_tally_is_exact_and_level_independent() {
+        let out = simulate_stream(&net(), short_cfg(), 12);
+        let blocked = out.stats.blocked();
+        assert!(blocked > 0, "workload must block under this seed");
+        // 1-in-8 cadence: the first block of each run of 8 is kept.
+        let kept = blocked.div_ceil(8);
+        assert_eq!(out.stats.sampled_out, blocked - kept);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot weight")]
+    fn bad_config_rejected() {
+        simulate_stream(
+            &net(),
+            StreamConfig {
+                hotspot_weight: 0.5,
+                ..StreamConfig::default()
+            },
+            13,
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //!       [--out DIR] [--obs-report]
 //! repro profile <paper-default|waxman-240> [--seed S] [--out DIR] \
 //!       [--top N] [--bench-out FILE]
+//! repro stream [--slots N] [--window W] [--seed S] [--arrival P] \
+//!       [--sample-every N] [--out DIR]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -35,6 +37,13 @@
 //! mid-protocol replay; output follows the same table/CSV/obs-report
 //! flow as the experiment runner, under the id `churn`.
 //!
+//! `stream` drives the sustained-load workload (diurnal arrivals,
+//! heavy-tailed group sizes, hot-spot users) and writes the windowed
+//! telemetry artifacts: `stream-windows.csv`, `stream-summary.csv`,
+//! the `stream.metrics.jsonl` window stream, a schema-4 `stream.json`
+//! run report, and a Prometheus-style `stream.prom`. Everything except
+//! the stderr throughput line is byte-deterministic for a fixed seed.
+//!
 //! `profile` runs one scenario single-threaded at `MUERP_OBS=trace`
 //! and writes the perf-attribution artifacts: deterministic facts to
 //! stdout and `profile-<scenario>.csv`, the wall-time attribution to
@@ -51,8 +60,10 @@ static ALLOC: qnet_obs::CountingAllocator = qnet_obs::CountingAllocator;
 use std::path::Path;
 use std::process::ExitCode;
 
-use muerp_experiments::cli::{self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs, ProfileArgs};
-use muerp_experiments::{ablations, beyond, churn, convergence, figures, profile};
+use muerp_experiments::cli::{
+    self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs, ProfileArgs, StreamArgs,
+};
+use muerp_experiments::{ablations, beyond, churn, convergence, figures, profile, stream};
 use muerp_experiments::{FigureTable, TrialConfig};
 
 fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
@@ -129,6 +140,17 @@ fn run_obs_diff(args: &ObsDiffArgs) -> ExitCode {
         }
     };
     warn_on_trace_drops(&candidate, "candidate report");
+    // An old baseline is migrated on read; make that visible so a clean
+    // diff against a pre-migration file is never mistaken for a
+    // same-schema comparison.
+    if baseline.schema_version < qnet_obs::SCHEMA_VERSION {
+        println!(
+            "note: baseline {} is schema version {} — migrated on read to version {}",
+            args.baseline.display(),
+            baseline.schema_version,
+            qnet_obs::SCHEMA_VERSION
+        );
+    }
     let diff = qnet_obs::diff_reports(&baseline, &candidate, &args.options());
     print!("{}", diff.render_table());
     if diff.has_regressions() {
@@ -256,6 +278,25 @@ fn run_profile_cmd(args: &ProfileArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_stream_cmd(args: &StreamArgs) -> ExitCode {
+    let (run, written) = match stream::run_stream(args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Deterministic facts on stdout (CI byte-compares the artifacts) …
+    print!("{}", run.render_text());
+    warn_on_trace_drops(&run.report, "stream");
+    for path in &written {
+        println!("wrote {}", path.display());
+    }
+    // … wall-clock throughput on stderr (jitters run to run).
+    eprint!("{}", run.render_throughput());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match cli::parse_command(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
@@ -263,6 +304,7 @@ fn main() -> ExitCode {
         Ok(Command::Fuzz(f)) => return run_fuzz(&f),
         Ok(Command::Churn(c)) => return run_churn(&c),
         Ok(Command::Profile(p)) => return run_profile_cmd(&p),
+        Ok(Command::Stream(st)) => return run_stream_cmd(&st),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;

@@ -52,6 +52,43 @@ pub enum Command {
     /// instrumentation and emit the perf-attribution report (text, CSV,
     /// schema-3 run report, Chrome trace).
     Profile(ProfileArgs),
+    /// `repro stream`: the sustained-load streaming workload driver —
+    /// windowed telemetry tables, a JSONL metrics stream, a schema-4
+    /// run report, and a Prometheus-style exposition of the final
+    /// counters.
+    Stream(StreamArgs),
+}
+
+/// Arguments of the `stream` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamArgs {
+    /// Virtual-time slots to simulate.
+    pub slots: u64,
+    /// Time-series window width in slots.
+    pub window: u64,
+    /// Seed for the network build and the workload RNG.
+    pub seed: u64,
+    /// Baseline per-slot arrival probability (diurnally modulated).
+    pub arrival: f64,
+    /// Trace-sampling period for `Blocked` decision points.
+    pub sample_every: u64,
+    /// Output directory for the CSVs, metrics stream, report, and
+    /// Prometheus exposition.
+    pub out: PathBuf,
+}
+
+impl StreamArgs {
+    /// The streaming workload configuration these arguments select
+    /// (everything not flag-settable keeps the core defaults).
+    pub fn config(&self) -> muerp_core::extensions::StreamConfig {
+        muerp_core::extensions::StreamConfig {
+            slots: self.slots,
+            window_slots: self.window,
+            base_arrival: self.arrival,
+            sample_every: self.sample_every,
+            ..muerp_core::extensions::StreamConfig::default()
+        }
+    }
 }
 
 /// Scenarios the `profile` subcommand accepts.
@@ -170,7 +207,78 @@ where
         argv.next();
         return parse_profile(argv).map(Command::Profile);
     }
+    if argv.peek().map(String::as_str) == Some("stream") {
+        argv.next();
+        return parse_stream(argv).map(Command::Stream);
+    }
     parse(argv).map(Command::Run)
+}
+
+fn parse_stream<I>(argv: I) -> Result<StreamArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut slots = 2048u64;
+    let mut window = 64u64;
+    let mut seed = 2024u64;
+    let mut arrival = 0.35f64;
+    let mut sample_every = 8u64;
+    let mut out = PathBuf::from("results/stream");
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--slots" => {
+                let v = argv.next().ok_or("--slots needs a value")?;
+                slots = v.parse().map_err(|e| format!("bad --slots: {e}"))?;
+                if slots == 0 {
+                    return Err("--slots must be positive".into());
+                }
+            }
+            "--window" => {
+                let v = argv.next().ok_or("--window needs a value")?;
+                window = v.parse().map_err(|e| format!("bad --window: {e}"))?;
+                if window == 0 {
+                    return Err("--window must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--arrival" => {
+                let v = argv.next().ok_or("--arrival needs a value")?;
+                arrival = v.parse().map_err(|e| format!("bad --arrival: {e}"))?;
+                if !(0.0..=1.0).contains(&arrival) {
+                    return Err("--arrival must be in [0, 1]".into());
+                }
+            }
+            "--sample-every" => {
+                let v = argv.next().ok_or("--sample-every needs a value")?;
+                sample_every = v.parse().map_err(|e| format!("bad --sample-every: {e}"))?;
+                if sample_every == 0 {
+                    return Err("--sample-every must be positive".into());
+                }
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = PathBuf::from(v);
+            }
+            other => {
+                return Err(format!(
+                    "unknown stream argument: {other}\nusage: repro stream [--slots N] \
+                 [--window W] [--seed S] [--arrival P] [--sample-every N] [--out DIR]"
+                ))
+            }
+        }
+    }
+    Ok(StreamArgs {
+        slots,
+        window,
+        seed,
+        arrival,
+        sample_every,
+        out,
+    })
 }
 
 fn parse_profile<I>(argv: I) -> Result<ProfileArgs, String>
@@ -745,6 +853,73 @@ mod tests {
         assert_eq!(p.out, PathBuf::from("/tmp/prof"));
         assert_eq!(p.top, 5);
         assert_eq!(p.bench_out, Some(PathBuf::from("BENCH_pr6.json")));
+    }
+
+    #[test]
+    fn stream_parses_flags_and_defaults() {
+        let c = parse_command(s(&["stream"])).unwrap();
+        let Command::Stream(a) = c else {
+            panic!("expected Stream, got {c:?}");
+        };
+        assert_eq!(a.slots, 2048);
+        assert_eq!(a.window, 64);
+        assert_eq!(a.seed, 2024);
+        assert_eq!(a.arrival, 0.35);
+        assert_eq!(a.sample_every, 8);
+        assert_eq!(a.out, PathBuf::from("results/stream"));
+        let cfg = a.config();
+        assert_eq!(cfg.slots, 2048);
+        assert_eq!(cfg.window_slots, 64);
+        assert_eq!(cfg.base_arrival, 0.35);
+
+        let c = parse_command(s(&[
+            "stream",
+            "--slots",
+            "1024",
+            "--window",
+            "32",
+            "--seed",
+            "7",
+            "--arrival",
+            "0.5",
+            "--sample-every",
+            "4",
+            "--out",
+            "/tmp/stream",
+        ]))
+        .unwrap();
+        let Command::Stream(a) = c else {
+            panic!("expected Stream, got {c:?}");
+        };
+        assert_eq!(a.slots, 1024);
+        assert_eq!(a.window, 32);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.arrival, 0.5);
+        assert_eq!(a.sample_every, 4);
+        assert_eq!(a.out, PathBuf::from("/tmp/stream"));
+        assert_eq!(a.config().sample_every, 4);
+    }
+
+    #[test]
+    fn stream_rejects_bad_invocations() {
+        assert!(parse_command(s(&["stream", "--slots", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["stream", "--window", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["stream", "--arrival", "1.5"]))
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(parse_command(s(&["stream", "--sample-every", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["stream", "--seed"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_command(s(&["stream", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown stream argument"));
     }
 
     #[test]

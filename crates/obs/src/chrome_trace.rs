@@ -197,6 +197,7 @@ mod tests {
             counters: vec![],
             histograms: vec![],
             profile: None,
+            timeseries: None,
         }
     }
 

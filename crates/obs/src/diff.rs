@@ -438,6 +438,7 @@ mod tests {
                 .collect(),
             histograms: vec![],
             profile: None,
+            timeseries: None,
         }
     }
 

@@ -29,6 +29,13 @@
 //! the run reports. [`diff_reports`] compares two serialized
 //! [`RunReport`]s and powers the `repro obs-diff` regression gate.
 //!
+//! For sustained-load runs, the [`timeseries`](TimeSeries) module adds
+//! windowed metrics over a deterministic virtual clock (per-window
+//! rates, gauges, and latency quantiles, frozen into schema-4 reports
+//! and a JSONL metrics stream), and [`TraceSampler`] thins
+//! per-admission trace emission 1-in-N so the flight recorder covers
+//! the whole run instead of its tail.
+//!
 //! ## Naming convention
 //!
 //! Metrics are `<crate>.<component>.<name>` (e.g. `graph.dijkstra.calls`,
@@ -66,7 +73,9 @@ mod level;
 mod profile;
 mod registry;
 mod report;
+mod sample;
 mod span;
+mod timeseries;
 mod trace;
 
 #[cfg(feature = "alloc-profile")]
@@ -81,9 +90,14 @@ pub use registry::{
     MetricKey, Registry,
 };
 pub use report::{write_report, RunReport, SpanSnapshot, SCHEMA_VERSION};
+pub use sample::TraceSampler;
 pub use span::{
     adopt_span_context, enter, reset_spans, span_context, SpanContext, SpanContextGuard, SpanGuard,
     DEFAULT_SPAN_CAP,
+};
+pub use timeseries::{
+    prometheus_text, write_metrics_jsonl, write_prometheus, TimeSeries, TimeSeriesConfig,
+    TimeSeriesSection, WindowHistogram, WindowSnapshot,
 };
 pub use trace::{
     record_event, recorder, reset_trace, set_trace_capacity, trace_enabled, trace_snapshot,

@@ -10,6 +10,7 @@ use crate::level;
 use crate::profile::ProfileSection;
 use crate::registry::{global, quantiles_from_buckets, CounterSnapshot, HistogramSnapshot};
 use crate::span::snapshot_spans;
+use crate::timeseries::TimeSeriesSection;
 
 /// Version written into every serialized report. History:
 ///
@@ -19,12 +20,17 @@ use crate::span::snapshot_spans;
 ///   `p99`.
 /// * **3** — optional `profile` section (per-phase attribution rows,
 ///   allocation tallies, peak RSS; see [`ProfileSection`]).
+/// * **4** — optional `timeseries` section (windowed rates, gauges,
+///   and latency quantiles over a virtual slot clock; see
+///   [`TimeSeriesSection`]).
 ///
 /// [`RunReport::from_json`] accepts any version up to this one and
 /// migrates older shapes on read (missing quantiles are recomputed from
-/// the buckets; a pre-3 report simply has no profile section), so
-/// `obs-diff` can compare reports across versions.
-pub const SCHEMA_VERSION: u32 = 3;
+/// the buckets; a pre-3 report simply has no profile section, a pre-4
+/// report no timeseries section), so `obs-diff` can compare reports
+/// across versions. [`RunReport::schema_version`] keeps the *parsed*
+/// version, letting tools surface that a migration happened.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A span as it appears in a run report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,6 +70,10 @@ pub struct RunReport {
     /// migrated pre-3 reports). Attached by `repro profile` via
     /// [`RunReport::with_profile`].
     pub profile: Option<ProfileSection>,
+    /// Windowed time-series metrics (schema 4; `None` on plain
+    /// captures and migrated pre-4 reports). Attached by sustained-load
+    /// drivers via [`RunReport::with_timeseries`].
+    pub timeseries: Option<TimeSeriesSection>,
 }
 
 impl RunReport {
@@ -90,6 +100,7 @@ impl RunReport {
             counters: reg.counter_snapshots(),
             histograms: reg.histogram_snapshots(),
             profile: None,
+            timeseries: None,
         }
     }
 
@@ -98,6 +109,13 @@ impl RunReport {
     /// caller to fill in.
     pub fn with_profile(mut self) -> RunReport {
         self.profile = Some(ProfileSection::from_spans(&self.spans));
+        self
+    }
+
+    /// Attaches a frozen [`TimeSeriesSection`] (the output of
+    /// [`crate::TimeSeries::finish`]).
+    pub fn with_timeseries(mut self, section: TimeSeriesSection) -> RunReport {
+        self.timeseries = Some(section);
         self
     }
 
@@ -192,6 +210,12 @@ impl RunReport {
                 .as_ref()
                 .map_or(Value::Null, ProfileSection::to_json),
         );
+        root.insert(
+            "timeseries".into(),
+            self.timeseries
+                .as_ref()
+                .map_or(Value::Null, TimeSeriesSection::to_json),
+        );
         Value::Object(root)
     }
 
@@ -276,11 +300,16 @@ impl RunReport {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
-        // Pre-3 reports have no profile key; a v3 report may carry
+        // Pre-3 reports have no profile key; a v3+ report may carry
         // `null`. A present-but-malformed section fails the parse.
         let profile = match v.get("profile") {
             None | Some(Value::Null) => None,
             Some(p) => Some(ProfileSection::from_json(p)?),
+        };
+        // Same treatment for the v4 timeseries section.
+        let timeseries = match v.get("timeseries") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(TimeSeriesSection::from_json(t)?),
         };
         Some(RunReport {
             schema_version,
@@ -290,6 +319,7 @@ impl RunReport {
             counters,
             histograms,
             profile,
+            timeseries,
         })
     }
 }
@@ -375,6 +405,18 @@ mod tests {
                 }),
                 peak_rss_bytes: Some(1 << 21),
             }),
+            timeseries: Some({
+                let mut ts = crate::TimeSeries::new(crate::TimeSeriesConfig {
+                    window_slots: 4,
+                    capacity: 8,
+                });
+                ts.gauge("active", 2.5);
+                ts.rate_add("arrivals", 3);
+                ts.latency("admission", 17);
+                ts.advance_to(4);
+                ts.rate_add("arrivals", 1);
+                ts.finish()
+            }),
         };
         let text = serde_json::to_string_pretty(&report.to_json()).unwrap();
         let parsed = serde_json::from_str(&text).expect("report JSON parses");
@@ -385,6 +427,7 @@ mod tests {
         assert_eq!(back.counters, report.counters);
         assert_eq!(back.histograms, report.histograms);
         assert_eq!(back.profile, report.profile);
+        assert_eq!(back.timeseries, report.timeseries);
     }
 
     #[test]
@@ -432,6 +475,7 @@ mod tests {
             counters: vec![],
             histograms: vec![],
             profile: None,
+            timeseries: None,
         }
         .to_json();
         if let Value::Object(m) = &mut v {
@@ -470,6 +514,7 @@ mod tests {
             ],
             histograms: vec![],
             profile: None,
+            timeseries: None,
         };
         assert_eq!(report.counter_total("c.ch.rejected"), 6);
     }
@@ -485,6 +530,7 @@ mod tests {
             counters: vec![],
             histograms: vec![],
             profile: None,
+            timeseries: None,
         };
         let path = write_report(&dir, &report).expect("write succeeds");
         assert_eq!(path.file_name().unwrap().to_str().unwrap(), "fig_7_b.json");

@@ -155,6 +155,18 @@ pub enum TraceEvent {
         /// unrepairable.
         rate: f64,
     },
+    /// An online/streaming admission request was rejected: `reason` is
+    /// `"no-users"` (too few idle users to form the group) or
+    /// `"capacity"` (no capacity-respecting tree over the residual
+    /// network).
+    Blocked {
+        /// Rejection reason tag.
+        reason: &'static str,
+        /// Requested group size.
+        group_size: u32,
+        /// Arrival slot of the rejected request.
+        at_slot: u64,
+    },
 }
 
 impl TraceEvent {
@@ -170,6 +182,7 @@ impl TraceEvent {
             TraceEvent::Protocol { .. } => "protocol",
             TraceEvent::Failure { .. } => "failure",
             TraceEvent::Repair { .. } => "repair",
+            TraceEvent::Blocked { .. } => "blocked",
         }
     }
 
@@ -278,6 +291,15 @@ impl TraceEvent {
                 m.insert("broken".into(), Value::from(broken));
                 m.insert("finder_runs".into(), Value::from(finder_runs));
                 m.insert("rate".into(), Value::from(rate));
+            }
+            TraceEvent::Blocked {
+                reason,
+                group_size,
+                at_slot,
+            } => {
+                m.insert("reason".into(), Value::from(reason));
+                m.insert("group_size".into(), Value::from(group_size));
+                m.insert("at_slot".into(), Value::from(at_slot));
             }
         }
         Value::Object(m)
@@ -615,6 +637,11 @@ mod tests {
                 broken: 1,
                 finder_runs: 4,
                 rate: 0.125,
+            },
+            TraceEvent::Blocked {
+                reason: "capacity",
+                group_size: 3,
+                at_slot: 17,
             },
         ];
         for e in events {

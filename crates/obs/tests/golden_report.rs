@@ -113,6 +113,22 @@ fn fixture() -> RunReport {
             }),
             peak_rss_bytes: Some(52_428_800),
         }),
+        // The v4 streaming section: two 8-slot windows with a carried
+        // gauge, a reset rate, and a per-window latency histogram.
+        timeseries: Some({
+            let mut ts = qnet_obs::TimeSeries::new(qnet_obs::TimeSeriesConfig {
+                window_slots: 8,
+                capacity: 16,
+            });
+            ts.gauge("active_sessions", 3.0);
+            ts.rate_add("arrivals", 5);
+            ts.latency("admission_searches", 6);
+            ts.latency("admission_searches", 21);
+            ts.advance_to(8);
+            ts.rate_add("arrivals", 2);
+            ts.latency("admission_searches", 9);
+            ts.finish()
+        }),
     }
 }
 
@@ -158,6 +174,7 @@ fn golden_file_round_trips_through_the_typed_report() {
     assert_eq!(report.counters, fix.counters);
     assert_eq!(report.histograms, fix.histograms);
     assert_eq!(report.profile, fix.profile);
+    assert_eq!(report.timeseries, fix.timeseries);
     // The fixture's hand-written attribution rows must agree with the
     // real derivation from its spans.
     let derived = qnet_obs::ProfileSection::from_spans(&fix.spans);
@@ -191,6 +208,7 @@ fn version_one_golden_file_still_parses() {
         "migration recomputes the quantiles the v1 file lacks"
     );
     assert_eq!(report.profile, None, "pre-3 reports have no profile");
+    assert_eq!(report.timeseries, None, "pre-4 reports have no timeseries");
 }
 
 #[test]
@@ -217,12 +235,50 @@ fn version_two_golden_file_still_parses() {
         (4.0 + 4.0 / 3.0, 8.0, 8.0),
         "v2 quantiles are read back verbatim (old upper-edge estimates)"
     );
-    // Re-serialization upgrades to v3 and stays loadable.
+    // Re-serialization upgrades to the current version and stays
+    // loadable.
     let upgraded = report.to_json();
     assert_eq!(
         upgraded.get("schema_version").and_then(|v| v.as_u64()),
         Some(SCHEMA_VERSION as u64)
     );
+    assert!(RunReport::from_json(&upgraded).is_some());
+}
+
+#[test]
+fn version_three_golden_file_still_parses() {
+    // `report_v3.json` is the PR-6 on-disk format, frozen: explicit
+    // schema_version 3 with a `profile` section, no `timeseries` key.
+    // It must keep loading as version 3 — profile intact, no
+    // timeseries — so pre-streaming baselines diff cleanly, and
+    // `obs-diff` can tell the caller a migration happened (the parsed
+    // schema_version stays 3).
+    let _serial = serial();
+    let path = golden_path().with_file_name("report_v3.json");
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing legacy golden {}: {e}", path.display()));
+    let value = serde_json::from_str(&on_disk).expect("legacy golden is valid JSON");
+    let report = RunReport::from_json(&value).expect("legacy shape accepted");
+    assert_eq!(report.schema_version, 3);
+    let fix = fixture();
+    assert_eq!(report.run, fix.run);
+    assert_eq!(report.spans, fix.spans);
+    assert_eq!(report.counters, fix.counters);
+    assert_eq!(
+        report.profile, fix.profile,
+        "the v3 profile section survives migration untouched"
+    );
+    assert_eq!(report.timeseries, None, "v3 reports have no timeseries");
+    // Re-serialization upgrades to v4 (with an explicit null
+    // timeseries) and stays loadable.
+    let upgraded = report.to_json();
+    assert_eq!(
+        upgraded.get("schema_version").and_then(|v| v.as_u64()),
+        Some(SCHEMA_VERSION as u64)
+    );
+    assert!(upgraded
+        .get("timeseries")
+        .is_some_and(|t| matches!(t, serde_json::Value::Null)));
     assert!(RunReport::from_json(&upgraded).is_some());
 }
 

@@ -22,8 +22,12 @@ fn event(i: u64) -> TraceEvent {
     TraceEvent::Candidate {
         source: (i % 1000) as u32,
         destination: ((i + 1) % 1000) as u32,
-        accepted: i % 3 != 0,
-        reason: if i % 3 != 0 { "ok" } else { "disconnected" },
+        accepted: !i.is_multiple_of(3),
+        reason: if !i.is_multiple_of(3) {
+            "ok"
+        } else {
+            "disconnected"
+        },
         cost: 1.0 / (i + 1) as f64,
         epoch: i,
     }

@@ -268,6 +268,7 @@ fn fixture() -> (RunReport, Vec<Stamped>) {
         counters: vec![],
         histograms: vec![],
         profile: None,
+        timeseries: None,
     };
     let events = vec![
         Stamped {

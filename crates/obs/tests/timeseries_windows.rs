@@ -1,0 +1,181 @@
+//! Window-boundary behavior of the time-series quantiles.
+//!
+//! The per-window latency histograms are reset at every boundary, so
+//! the estimator [`quantiles_from_buckets`] constantly re-runs on
+//! freshly-reset state: all-zero windows (no samples at all) and
+//! single-sample windows (one arrival right at a boundary) are the
+//! steady diet, not edge cases. The deterministic tests pin those; the
+//! proptests relate per-window quantiles to the run-level quantiles.
+//!
+//! On the bounding property: the *value-level* claim "the merged
+//! quantile lies within [min, max] of the window quantiles" is false
+//! in general — two 5-sample windows confined to one bucket each
+//! estimate p90 at the bucket's top (rank ceil(4.5) = 5 of 5), while
+//! the 10-sample merge interpolates rank 9 of 10 *below* the top — so
+//! the proptest asserts the octave-granular version instead, which
+//! does hold: the **bucket** holding the merged quantile's rank lies
+//! within [min, max] of the buckets holding each window's rank. That
+//! is exactly the estimator's documented one-octave resolution.
+
+use proptest::prelude::*;
+use qnet_obs::{quantiles_from_buckets, TimeSeries, TimeSeriesConfig, WindowHistogram};
+
+fn series(window_slots: u64, capacity: usize) -> TimeSeries {
+    TimeSeries::new(TimeSeriesConfig {
+        window_slots,
+        capacity,
+    })
+}
+
+/// The bucket index holding rank `ceil(q·count)` — the octave the
+/// estimator interpolates inside. `None` when empty.
+fn rank_bucket(count: u64, sparse: &[(usize, u64)], q: f64) -> Option<usize> {
+    if count == 0 {
+        return None;
+    }
+    let rank = (q * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for &(i, n) in sparse {
+        if seen + n >= rank {
+            return Some(i);
+        }
+        seen += n;
+    }
+    sparse.last().map(|&(i, _)| i)
+}
+
+#[test]
+fn freshly_reset_window_reports_all_zero_quantiles() {
+    let mut ts = series(4, 16);
+    ts.latency("admission", 900);
+    ts.latency("admission", 7);
+    // Windows 1 and 2 elapse without a single sample: the series key
+    // stays registered, the histogram is freshly reset each time.
+    ts.advance_to(12);
+    let section = ts.finish();
+    assert_eq!(section.windows.len(), 4);
+    let loud = &section.windows[0].latencies["admission"];
+    assert_eq!(loud.count(), 2);
+    assert!(loud.quantiles().0 > 0.0);
+    for w in &section.windows[1..] {
+        let h = &w.latencies["admission"];
+        assert_eq!(h.count(), 0, "window {} must be reset", w.index);
+        assert_eq!(
+            h.quantiles(),
+            (0.0, 0.0, 0.0),
+            "empty window {} quantiles",
+            w.index
+        );
+        // And the estimator agrees when called directly on the reset
+        // shape.
+        assert_eq!(
+            quantiles_from_buckets(h.count(), &h.sparse_buckets()),
+            (0.0, 0.0, 0.0)
+        );
+    }
+}
+
+#[test]
+fn single_sample_windows_straddling_a_boundary_stay_separate() {
+    let mut ts = series(8, 16);
+    // Last slot of window 0 and first slot of window 1: one sample
+    // each, in different octaves.
+    ts.advance_to(7);
+    ts.latency("admission", 1); // bucket 1, top value 1
+    ts.advance_to(8);
+    ts.latency("admission", 100); // bucket 7 ([64,128)), top value 127
+    let section = ts.finish();
+    assert_eq!(section.windows.len(), 2);
+    let w0 = &section.windows[0].latencies["admission"];
+    let w1 = &section.windows[1].latencies["admission"];
+    assert_eq!((w0.count(), w1.count()), (1, 1));
+    // A single sample makes every quantile the same rank: the sample's
+    // bucket-top estimate.
+    assert_eq!(w0.quantiles(), (1.0, 1.0, 1.0));
+    assert_eq!(w1.quantiles(), (127.0, 127.0, 127.0));
+    // A single zero sample is exactly zero, not a bucket edge.
+    let mut ts = series(8, 16);
+    ts.latency("admission", 0);
+    let section = ts.finish();
+    assert_eq!(
+        section.windows[0].latencies["admission"].quantiles(),
+        (0.0, 0.0, 0.0)
+    );
+}
+
+proptest! {
+    /// Bucket-wise merging of the per-window histograms reconstructs
+    /// the run-level histogram exactly — windowing loses no samples
+    /// (when nothing is evicted) and the shared bucket scheme makes
+    /// the union exact.
+    #[test]
+    fn windows_merge_back_to_the_run_level_histogram(
+        samples in proptest::collection::vec((0u64..8, 0u64..100_000), 1..200),
+    ) {
+        let mut samples = samples;
+        // The virtual clock is monotone; deliver in window order.
+        samples.sort_by_key(|&(w, _)| w);
+        let mut ts = series(1, 64);
+        let mut reference = WindowHistogram::new();
+        for &(w, v) in &samples {
+            ts.advance_to(w);
+            ts.latency("lat", v);
+            reference.record(v);
+        }
+        let section = ts.finish();
+        prop_assert_eq!(section.evicted, 0);
+        prop_assert_eq!(section.merged_latency("lat"), reference);
+    }
+
+    /// Octave-granular bounding: for each summary quantile, the bucket
+    /// the merged (run-level) rank falls in lies within [min, max] of
+    /// the buckets the per-window ranks fall in. (See the module docs
+    /// for why the value-level version of this claim is too strong.)
+    #[test]
+    fn merged_rank_bucket_is_bounded_by_window_rank_buckets(
+        samples in proptest::collection::vec((0u64..6, 0u64..1_000_000), 1..200),
+    ) {
+        let mut samples = samples;
+        samples.sort_by_key(|&(w, _)| w);
+        let mut ts = series(1, 64);
+        for &(w, v) in &samples {
+            ts.advance_to(w);
+            ts.latency("lat", v);
+        }
+        let section = ts.finish();
+        let merged = section.merged_latency("lat");
+        for q in [0.50, 0.90, 0.99] {
+            let run_bucket = rank_bucket(merged.count(), &merged.sparse_buckets(), q)
+                .expect("at least one sample");
+            let window_buckets: Vec<usize> = section
+                .windows
+                .iter()
+                .filter_map(|w| w.latencies.get("lat"))
+                .filter(|h| h.count() > 0)
+                .map(|h| rank_bucket(h.count(), &h.sparse_buckets(), q).unwrap())
+                .collect();
+            let lo = *window_buckets.iter().min().unwrap();
+            let hi = *window_buckets.iter().max().unwrap();
+            prop_assert!(
+                (lo..=hi).contains(&run_bucket),
+                "q={}: run-level rank bucket {} outside window range [{}, {}]",
+                q, run_bucket, lo, hi
+            );
+        }
+    }
+
+    /// Per-window summary quantiles are always ordered and finite,
+    /// whatever lands in the window.
+    #[test]
+    fn window_quantiles_are_ordered_and_finite(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let mut h = WindowHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (p50, p90, p99) = h.quantiles();
+        prop_assert!(p50.is_finite() && p90.is_finite() && p99.is_finite());
+        prop_assert!(p50 <= p90 && p90 <= p99);
+    }
+}
