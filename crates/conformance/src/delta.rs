@@ -1,0 +1,209 @@
+//! Delta oracle: the dirty-set channel-finder cache against cold
+//! recomputation, per delta, per source.
+//!
+//! The delta engine (qnet-graph `dijkstra_repair_into` plus the
+//! [`muerp_core::algorithms::ChannelFinderCache`] dirty-set protocol)
+//! promises that a cached per-source run consulted after **any**
+//! sequence of capacity deltas — served by O(1) revalidation, in-place
+//! SSSP repair, or full recompute, the cache's choice — is bitwise
+//! identical to a cold, cache-free [`ChannelFinder`] under the same
+//! capacity map. [`delta_check`] fuzzes exactly that promise: a seeded
+//! sequence of withdraw/grant deltas ([`derive_delta_ops`]) is pushed
+//! through one long-lived cache while every step is cross-checked
+//! against from-scratch searches ([`delta_check_ops`]).
+//!
+//! On failure the *sequence itself* is shrunk ([`shrink_ops`]): ops are
+//! greedily removed while the divergence persists, so the reported
+//! counterexample is a minimal delta script. The fuzz driver
+//! (`repro fuzz --delta`) additionally shrinks the topology spec, so
+//! what lands in the report is small on both axes.
+
+use muerp_core::algorithms::{ChannelFinder, ChannelFinderCache};
+use muerp_core::channel::CapacityMap;
+use muerp_core::model::QuantumNetwork;
+use qnet_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::differential::ConformanceError;
+
+/// One capacity delta in a fuzzed sequence: withdraw (`grant == false`)
+/// or restore (`grant == true`) `qubits` free qubits at `node`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaOp {
+    /// The switch whose free-qubit count changes.
+    pub node: NodeId,
+    /// How many qubits the delta moves (withdraw saturates at zero
+    /// free, grant saturates at `u32::MAX`, matching [`CapacityMap`]).
+    pub qubits: u32,
+    /// `true` restores qubits, `false` withdraws them.
+    pub grant: bool,
+}
+
+impl DeltaOp {
+    /// Applies this delta to a capacity map.
+    pub fn apply(&self, capacity: &mut CapacityMap) {
+        if self.grant {
+            capacity.grant(self.node, self.qubits);
+        } else {
+            capacity.withdraw(self.node, self.qubits);
+        }
+    }
+}
+
+/// Draws a deterministic delta sequence for one trial: 4–12 ops over
+/// the instance's switches, mixing small shaves (often
+/// threshold-preserving → O(1) revalidation), relay kills (worsening →
+/// in-place repair), and partial restores of earlier withdrawals
+/// (improving → recompute), so every classification arm of the cache
+/// is exercised.
+pub fn derive_delta_ops(net: &QuantumNetwork, seed: u64) -> Vec<DeltaOp> {
+    let switches: Vec<NodeId> = net.switches().collect();
+    if switches.is_empty() {
+        return Vec::new();
+    }
+    // Decorrelate the delta script from the topology seed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd3c0_1d5e_0f8a_2b11);
+    let len = rng.random_range(4..=12usize);
+    let mut withdrawn = vec![0u32; net.graph().node_count()];
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let &node = switches.choose(&mut rng).expect("non-empty");
+        let owed = withdrawn[node.index()];
+        let grant = owed > 0 && rng.random_bool(0.4);
+        let qubits = if grant {
+            rng.random_range(1..=owed)
+        } else {
+            rng.random_range(1..=4u32)
+        };
+        if grant {
+            withdrawn[node.index()] -= qubits;
+        } else {
+            withdrawn[node.index()] += qubits;
+        }
+        ops.push(DeltaOp {
+            node,
+            qubits,
+            grant,
+        });
+    }
+    ops
+}
+
+/// Replays `ops` against one long-lived warm cache, cross-checking
+/// every cached per-source run against a cold [`ChannelFinder`] after
+/// every single delta.
+///
+/// # Errors
+///
+/// Returns [`ConformanceError::DeltaDiverged`] naming the first op and
+/// source whose cached run is not bitwise identical to the cold
+/// recomputation.
+pub fn delta_check_ops(net: &QuantumNetwork, ops: &[DeltaOp]) -> Result<(), ConformanceError> {
+    let users = net.users().to_vec();
+    let mut capacity = CapacityMap::new(net);
+    let mut cache = ChannelFinderCache::new(net);
+    cache.warm(&capacity, &users);
+    for (step, op) in ops.iter().enumerate() {
+        op.apply(&mut capacity);
+        for (source, &u) in users.iter().enumerate() {
+            let cached = cache.finder(&capacity, u).run().clone();
+            let cold = ChannelFinder::from_source(net, &capacity, u);
+            if &cached != cold.run() {
+                return Err(ConformanceError::DeltaDiverged {
+                    step,
+                    source,
+                    ops: ops.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Greedily shrinks a failing delta sequence: drops any single op whose
+/// removal keeps [`delta_check_ops`] failing, repeating until every
+/// remaining op is load-bearing. Returns the minimal sequence, its
+/// error, and the number of ops removed.
+pub fn shrink_ops(
+    net: &QuantumNetwork,
+    ops: Vec<DeltaOp>,
+    error: ConformanceError,
+) -> (Vec<DeltaOp>, ConformanceError, usize) {
+    let mut current = ops;
+    let mut current_error = error;
+    let mut steps = 0;
+    'outer: loop {
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Err(e) = delta_check_ops(net, &candidate) {
+                current = candidate;
+                current_error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return (current, current_error, steps);
+    }
+}
+
+/// Runs the delta oracle on one instance: derive the seeded sequence,
+/// replay it through the cache with per-step cold cross-checks, and on
+/// failure report the error of the **shrunk** minimal sequence.
+///
+/// # Errors
+///
+/// Returns the [`ConformanceError::DeltaDiverged`] of the minimal
+/// failing subsequence.
+pub fn delta_check(net: &QuantumNetwork, seed: u64) -> Result<(), ConformanceError> {
+    let ops = derive_delta_ops(net, seed);
+    if let Err(error) = delta_check_ops(net, &ops) {
+        let (_minimal, error, _removed) = shrink_ops(net, ops, error);
+        return Err(error);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muerp_core::model::NetworkSpec;
+
+    #[test]
+    fn derived_ops_are_deterministic_and_in_family() {
+        let net = NetworkSpec::paper_default().build(17);
+        let a = derive_delta_ops(&net, 17);
+        let b = derive_delta_ops(&net, 17);
+        assert_eq!(a, b);
+        assert!((4..=12).contains(&a.len()));
+        let mut owed = vec![0u32; net.graph().node_count()];
+        for op in &a {
+            assert!(net.kind(op.node).is_switch(), "deltas only touch switches");
+            assert!(op.qubits >= 1);
+            if op.grant {
+                // Restores never exceed what the script withdrew, so the
+                // sequence stays within the instance's hardware budget.
+                assert!(op.qubits <= owed[op.node.index()]);
+                owed[op.node.index()] -= op.qubits;
+            } else {
+                owed[op.node.index()] += op.qubits;
+            }
+        }
+    }
+
+    #[test]
+    fn delta_check_is_clean_on_the_paper_family() {
+        for seed in 0..6 {
+            let net = NetworkSpec::paper_default().build(seed);
+            delta_check(&net, seed).expect("delta oracle must pass");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_vacuously_clean() {
+        let net = NetworkSpec::paper_default().build(9);
+        delta_check_ops(&net, &[]).expect("no deltas, no divergence");
+    }
+}

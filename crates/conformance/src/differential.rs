@@ -97,6 +97,16 @@ pub enum ConformanceError {
         /// Human-readable description of the violated property.
         detail: String,
     },
+    /// The delta-aware channel-finder cache served a run that differs
+    /// from a cold, cache-free recomputation after a capacity delta.
+    DeltaDiverged {
+        /// 0-based index of the delta op after which the cache diverged.
+        step: usize,
+        /// Index of the source user whose cached run differed.
+        source: usize,
+        /// Length of the (shrunk) failing delta sequence.
+        ops: usize,
+    },
     /// Two identically configured runs disagreed.
     NonDeterministic {
         /// Offending algorithm.
@@ -142,6 +152,11 @@ impl std::fmt::Display for ConformanceError {
             ConformanceError::RepairUnsound { detail } => {
                 write!(f, "repair: unsound result: {detail}")
             }
+            ConformanceError::DeltaDiverged { step, source, ops } => write!(
+                f,
+                "delta cache: cached run for source #{source} diverged from cold \
+                 recomputation after op #{step} of a {ops}-op delta sequence"
+            ),
             ConformanceError::NonDeterministic {
                 algo,
                 first_cost,

@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use serde_json::{Map, Value};
 
 use crate::churn::churn_check;
+use crate::delta::delta_check;
 use crate::differential::{differential_check, ConformanceError};
 
 /// Configuration of a fuzz run.
@@ -36,6 +37,11 @@ pub struct FuzzConfig {
     /// repair it, and check the repair invariants (`repro fuzz
     /// --churn`).
     pub churn: bool,
+    /// Also run the delta oracle per trial: push a seeded capacity
+    /// delta sequence through the dirty-set channel-finder cache and
+    /// cross-check every step against a cold recomputation (`repro
+    /// fuzz --delta`).
+    pub delta: bool,
 }
 
 impl Default for FuzzConfig {
@@ -44,6 +50,7 @@ impl Default for FuzzConfig {
             budget: 100,
             base_seed: 0,
             churn: false,
+            delta: false,
         }
     }
 }
@@ -57,11 +64,14 @@ pub struct FuzzCase {
     pub seed: u64,
     /// `true` when the trial also exercises failure injection + repair.
     pub churn: bool,
+    /// `true` when the trial also exercises the delta-cache oracle.
+    pub delta: bool,
 }
 
 impl FuzzCase {
     /// Runs the conformance check this driver fuzzes: the differential
-    /// oracle, plus the churn oracle when [`FuzzCase::churn`] is set.
+    /// oracle, plus the churn oracle when [`FuzzCase::churn`] is set
+    /// and the delta oracle when [`FuzzCase::delta`] is set.
     ///
     /// # Errors
     ///
@@ -72,6 +82,9 @@ impl FuzzCase {
         differential_check(&net, self.seed)?;
         if self.churn {
             churn_check(&net, self.seed)?;
+        }
+        if self.delta {
+            delta_check(&net, self.seed)?;
         }
         Ok(())
     }
@@ -96,6 +109,7 @@ impl FuzzCase {
             Value::from(self.spec.qubits_per_switch),
         );
         out.insert("churn".into(), Value::from(self.churn));
+        out.insert("delta".into(), Value::from(self.delta));
         Value::Object(out)
     }
 }
@@ -196,6 +210,7 @@ pub fn derive_case(base_seed: u64, trial: u64) -> FuzzCase {
         },
         seed,
         churn: false,
+        delta: false,
     }
 }
 
@@ -242,6 +257,7 @@ pub fn shrink_failure(
                 spec: candidate_spec,
                 seed: current.seed,
                 churn: current.churn,
+                delta: current.delta,
             };
             if let Err(e) = run_case(candidate) {
                 current = candidate;
@@ -285,6 +301,7 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzOutcome {
     for trial in 0..config.budget {
         let mut case = derive_case(config.base_seed, trial as u64);
         case.churn = config.churn;
+        case.delta = config.delta;
         outcome.trials += 1;
         if let Err(error) = run_case(case) {
             let (shrunk, error, shrink_steps) = shrink_failure(case, error);
@@ -326,6 +343,7 @@ mod tests {
             budget: 12,
             base_seed: 2024,
             churn: false,
+            delta: false,
         });
         assert_eq!(outcome.trials, 12);
         assert!(
@@ -341,11 +359,28 @@ mod tests {
             budget: 6,
             base_seed: 2025,
             churn: true,
+            delta: false,
         });
         assert_eq!(outcome.trials, 6);
         assert!(
             outcome.is_clean(),
             "unexpected churn failures: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn small_delta_budget_run_is_clean() {
+        let outcome = run_fuzz(FuzzConfig {
+            budget: 6,
+            base_seed: 2026,
+            churn: false,
+            delta: true,
+        });
+        assert_eq!(outcome.trials, 6);
+        assert!(
+            outcome.is_clean(),
+            "unexpected delta failures: {:?}",
             outcome.failures
         );
     }
@@ -370,6 +405,7 @@ mod tests {
             budget: 2,
             base_seed: 5,
             churn: false,
+            delta: false,
         });
         let json = outcome.to_json();
         assert_eq!(json.get("trials").and_then(Value::as_u64), Some(2));
@@ -384,6 +420,7 @@ mod tests {
             "users",
             "qubits_per_switch",
             "churn",
+            "delta",
         ] {
             assert!(case_json.get(key).is_some(), "missing {key}");
         }

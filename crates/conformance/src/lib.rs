@@ -9,6 +9,10 @@
 //!   trial pushed through the repair ladder, checked audit-clean,
 //!   degraded-valid, rate-bounded (do-nothing ≤ repair ≤ exhaustive
 //!   degraded optimum), and deterministic.
+//! * [`delta`] — the incremental-routing oracle: seeded capacity delta
+//!   sequences through the dirty-set channel-finder cache, every step
+//!   cross-checked bitwise against a cold cache-free recomputation,
+//!   failing sequences shrunk to a minimal delta script.
 //! * [`differential`] — runs the five suite algorithms plus the
 //!   extension solvers, audits every solution with the independent
 //!   [`muerp_core::audit::SolutionAudit`], and compares heuristics
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod delta;
 pub mod differential;
 pub mod fixture;
 pub mod fuzz;
@@ -43,6 +48,7 @@ pub mod metamorphic;
 pub mod simcheck;
 
 pub use churn::{churn_check, derive_failure, failure_from_json, failure_to_json, ChurnReport};
+pub use delta::{delta_check, delta_check_ops, derive_delta_ops, shrink_ops, DeltaOp};
 pub use differential::{differential_check, run_suite, ConformanceError, DifferentialReport};
 pub use fixture::{Fixture, FixtureError};
 pub use fuzz::{run_fuzz, shrink_spec, FuzzConfig, FuzzFailure, FuzzOutcome};

@@ -13,7 +13,10 @@
 use std::cell::Cell;
 
 use qnet_graph::paths::{dijkstra_adj_into, DijkstraConfig, DijkstraRun, DijkstraWorkspace};
-use qnet_graph::{Adjacency, CsrGraph, EdgeRef, NodeId, SearchMask};
+use qnet_graph::{
+    dijkstra_repair_into, Adjacency, CsrGraph, DeltaClassifier, EdgeRef, NodeId, RepairScratch,
+    SearchMask, SsspDelta,
+};
 use qnet_pool::Pool;
 
 use crate::channel::{CapacityMap, Channel};
@@ -187,6 +190,13 @@ impl<'n> ChannelFinder<'n> {
         self.run.source()
     }
 
+    /// The underlying single-source run (distances and predecessors to
+    /// every node). The delta-equivalence oracles compare this directly
+    /// against from-scratch recomputation.
+    pub fn run(&self) -> &DijkstraRun {
+        &self.run
+    }
+
     /// The max-rate channel from the source to `destination`, or `None`
     /// when no capacity-respecting channel exists.
     ///
@@ -252,31 +262,148 @@ pub fn max_rate_channel(
     ChannelFinder::from_source(net, capacity, a).channel_to(b)
 }
 
+/// In-place delta repair of a memoized Algorithm-1 run: reloads `run`
+/// into the workspace and patches it for the given newly-blocked relay
+/// set instead of re-running the search from scratch.
+///
+/// The configuration is the exact Algorithm-1 cost/relay pair of
+/// [`run_algorithm1_quiet`] minus the mask branch (repairs only serve
+/// unmasked entries) and the rejection tally (a repair consults only
+/// the shrunken region, so its tally would not be comparable to a full
+/// run's); `capacity` must already reflect the blocked nodes, which is
+/// guaranteed because the blocked set is derived by diffing relay
+/// states against that same map.
+fn repair_algorithm1(
+    ws: &mut DijkstraWorkspace,
+    scratch: &mut RepairScratch,
+    csr: &CsrGraph,
+    net: &QuantumNetwork,
+    capacity: &CapacityMap,
+    run: &mut DijkstraRun,
+    blocked: &[NodeId],
+) -> qnet_graph::RepairStats {
+    let q = net.physics().swap_success;
+    let alpha = net.physics().attenuation;
+    let neg_ln_q = if q > 0.0 { -(q.ln()) } else { 0.0 };
+    let swaps_possible = q > 0.0;
+    let cfg = DijkstraConfig {
+        edge_cost: move |e: EdgeRef<'_, f64>| alpha * *e.payload + neg_ln_q,
+        can_relay: |v: NodeId| swaps_possible && net.kind(v).is_switch() && capacity.can_relay(v),
+    };
+    let mut delta = SsspDelta::new();
+    for &v in blocked {
+        delta.block_node(v);
+    }
+    ws.load_run(run);
+    let (view, stats) = dijkstra_repair_into(ws, scratch, csr, net.graph(), &cfg, &delta);
+    view.write_run(run);
+    stats
+}
+
+/// `true` when letting `v` relay again could change the stored run —
+/// i.e. some neighbor `u` would receive an offer `dist(v) + w(v,u)` no
+/// worse than its current label. `<=` (not `<`) is deliberate: an
+/// exactly-equal offer cannot improve a distance, but it can flip a
+/// predecessor tie depending on heap order, and the cache promises
+/// *bitwise* fidelity, so ties force a recompute too.
+fn improvement_possible(
+    net: &QuantumNetwork,
+    run: &DijkstraRun,
+    v: NodeId,
+    alpha: f64,
+    neg_ln_q: f64,
+) -> bool {
+    let Some(dv) = run.distance(v) else {
+        // A vertex the source cannot even reach helps nobody as a relay.
+        return false;
+    };
+    for &(u, e) in net.graph().neighbor_slice(v) {
+        let w = alpha * net.length(e) + neg_ln_q;
+        let du = run.distance(u).unwrap_or(f64::INFINITY);
+        if dv + w <= du {
+            return true;
+        }
+    }
+    false
+}
+
+/// How a cache entry must be brought up to date with the capacity map,
+/// as derived from the relay-state diffs observed since the entry was
+/// last validated. `Clean` entries are revalidated in O(1);
+/// `Repair(nodes)` entries get an in-place SSSP repair for exactly
+/// those newly-blocked relays; `Recompute` entries (improving deltas,
+/// masked entries) fall back to a full search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pending {
+    Clean,
+    Repair(Vec<NodeId>),
+    Recompute,
+}
+
+/// One memoized single-source run plus its staleness bookkeeping.
+struct Entry<'n> {
+    /// `(capacity epoch, mask hash)` the run was last validated at.
+    key: (u64, u64),
+    /// What the next lookup at a different epoch must do.
+    pending: Pending,
+    finder: ChannelFinder<'n>,
+}
+
 /// Memoizes single-source Algorithm-1 runs across solver rounds.
 ///
 /// Greedy solvers (Prim-based, Algorithm 3/4, beam search, local search)
 /// re-run the same sources many times between capacity changes. Each
 /// cache entry is keyed by `(source, capacity epoch, mask hash)`: a
 /// lookup whose stored key matches returns the memoized finder with no
-/// search at all; a mismatch re-runs the search *in place* over the
-/// entry's buffers (and the cache's shared [`DijkstraWorkspace`]), so
-/// steady-state misses allocate nothing either.
+/// search at all.
+///
+/// A key mismatch no longer voids the entry wholesale. The cache keeps
+/// a *relay mirror* — the per-node relay predicate of the last capacity
+/// map it observed — and diffs it against every new epoch (DESIGN.md
+/// §15). Only nodes whose relay bit actually flipped dirty anything,
+/// and only the entries their flip can reach:
+///
+/// * no flip (capacity moved but stayed on the same side of the ≥ 2
+///   threshold everywhere): every entry is revalidated in O(1) —
+///   `graph.delta.clean`;
+/// * a relay revoked (worsening): affected entries (same component,
+///   node reachable in the stored run) get an in-place SSSP repair via
+///   [`dijkstra_repair_into`] — `graph.delta.repaired`;
+/// * a relay restored (improving): entries where the restored node
+///   could offer a no-worse label to any neighbor fall back to a full
+///   search — `graph.delta.recomputed` (in-place decrease-propagation
+///   can flip floating-point predecessor ties, and the cache promises
+///   bitwise fidelity);
+/// * masked entries always fall back to a full search on any flip (the
+///   cache stores only the mask's hash, not its dead set).
+///
+/// The epoch key is retained purely as the correctness *backstop*: a
+/// lookup whose epoch matches needs no reasoning at all, and any bug in
+/// the dirty-set derivation is bounded by the differential battery
+/// (`tests/delta_cache.rs`, qnet-conformance `--delta` oracle), not by
+/// silent reuse — entries are never served on an epoch mismatch without
+/// passing through the observe/classify step first.
 ///
 /// Correctness rests on these invariants (see DESIGN.md):
 ///
 /// * epochs are process-globally unique per mutation, so epoch equality
-///   implies content equality even across diverged clones;
+///   implies content equality even across diverged clones — and the
+///   relay mirror can be diffed by *content* against any successor map,
+///   which is what makes clone ping-pong (trial maps in the stream
+///   scenario) cheap instead of cache-hostile;
 /// * a [`SearchMask`]'s hash is an order-independent digest of its dead
 ///   set, `0` for the empty mask, so a masked run can never be served
 ///   to an unmasked query at the same epoch (or vice versa) — the
 ///   "stale mask poisons the cache" failure mode;
-/// * Algorithm 1's result depends only on (network, capacity, mask,
-///   source) — the network is fixed per cache, capacity is pinned by
-///   the epoch, the mask by its hash.
+/// * Algorithm 1's result depends only on (network, relay predicate,
+///   mask, source) — the network is fixed per cache, the relay
+///   predicate by the mirror diff, the mask by its hash.
 ///
 /// Hits and misses are observable as `core.channel.cache_hits` /
-/// `core.channel.cache_misses`; [`search_count`] tallies the searches
-/// this cache actually executed (the repair engine's latency metric).
+/// `core.channel.cache_misses`; [`search_count`] tallies the full
+/// searches this cache actually executed (the repair engine's latency
+/// metric — in-place repairs are tallied separately in
+/// [`CacheEfficiency::repairs`]).
 ///
 /// [`epoch`]: CapacityMap::epoch
 /// [`search_count`]: ChannelFinderCache::search_count
@@ -295,11 +422,23 @@ pub struct ChannelFinderCache<'n> {
     pool: Pool,
     ws: DijkstraWorkspace,
     /// Indexed by source node; each entry stores the (epoch, mask hash)
-    /// key its run was computed under.
-    entries: Vec<Option<((u64, u64), ChannelFinder<'n>)>>,
-    /// Searches actually executed (misses), monotone.
+    /// key its run was computed under plus its pending dirty state.
+    entries: Vec<Option<Entry<'n>>>,
+    /// Static component/bridge analysis of the network graph, used to
+    /// pre-filter which sources a relay flip can possibly affect.
+    classifier: DeltaClassifier,
+    /// Reusable marking buffers for [`dijkstra_repair_into`].
+    scratch: RepairScratch,
+    /// Per-node relay predicate of the capacity map last observed
+    /// (`swaps possible && switch && free ≥ 2`), diffed by content
+    /// against each newly observed map.
+    mirror: Vec<bool>,
+    /// Epoch [`mirror`](Self::mirror) reflects; `None` before the first
+    /// observation.
+    mirror_epoch: Option<u64>,
+    /// Full searches actually executed (misses), monotone.
     searches: u64,
-    /// Per-instance hit/miss/refresh tallies (see
+    /// Per-instance hit/miss/refresh/repair tallies (see
     /// [`ChannelFinderCache::efficiency`]).
     efficiency: CacheEfficiency,
 }
@@ -319,12 +458,16 @@ pub struct CacheEfficiency {
     /// Misses that populated a previously empty entry (first touch of a
     /// source; materializes a fresh run).
     pub fills: u64,
+    /// Misses served by an in-place SSSP delta repair instead of a full
+    /// search (the delta engine's win column; not counted in
+    /// [`ChannelFinderCache::search_count`]).
+    pub repairs: u64,
 }
 
 impl CacheEfficiency {
     /// Total lookups observed.
     pub fn lookups(&self) -> u64 {
-        self.hits + self.refreshes + self.fills
+        self.hits + self.refreshes + self.fills + self.repairs
     }
 
     /// Hits over lookups, 1.0 when no lookups happened.
@@ -357,9 +500,101 @@ impl<'n> ChannelFinderCache<'n> {
             pool,
             ws: DijkstraWorkspace::with_capacity(nodes),
             entries: (0..nodes).map(|_| None).collect(),
+            classifier: DeltaClassifier::new(net.graph()),
+            scratch: RepairScratch::new(),
+            mirror: Vec::new(),
+            mirror_epoch: None,
             searches: 0,
             efficiency: CacheEfficiency::default(),
         }
+    }
+
+    /// Synchronizes the relay mirror with `capacity` and reclassifies
+    /// every entry's pending state against the relay flips the diff
+    /// reveals. Every lookup and warm passes through here exactly once
+    /// per new epoch, *before* any key comparison — that single coherent
+    /// snapshot is what makes "delta landed between snapshot and
+    /// install" impossible (the satellite-4 hazard): keys installed
+    /// later in the same call are always keyed to the observed epoch,
+    /// and the map cannot mutate while borrowed.
+    fn observe(&mut self, capacity: &CapacityMap) {
+        let epoch = capacity.epoch();
+        if self.mirror_epoch == Some(epoch) {
+            // Epochs are globally unique per mutation: same epoch means
+            // the map content is bit-identical to the mirror.
+            return;
+        }
+        let net = self.net;
+        let q = net.physics().swap_success;
+        let swaps_possible = q > 0.0;
+        let relay_now: Vec<bool> = net
+            .graph()
+            .node_ids()
+            .map(|v| swaps_possible && net.kind(v).is_switch() && capacity.can_relay(v))
+            .collect();
+        if self.mirror_epoch.is_some() {
+            let alpha = net.physics().attenuation;
+            let neg_ln_q = if q > 0.0 { -(q.ln()) } else { 0.0 };
+            for (i, (&now, &before)) in relay_now.iter().zip(self.mirror.iter()).enumerate() {
+                if now == before {
+                    continue;
+                }
+                let v = NodeId::new(i);
+                let worsened = !now;
+                for entry in self.entries.iter_mut().flatten() {
+                    if entry.pending == Pending::Recompute {
+                        continue;
+                    }
+                    if entry.key.1 != 0 {
+                        // Only the mask's hash is stored, so masked
+                        // entries cannot be classified — conservative.
+                        entry.pending = Pending::Recompute;
+                        continue;
+                    }
+                    let source = entry.finder.run.source();
+                    match (&mut entry.pending, worsened) {
+                        (Pending::Clean, true) => {
+                            if self.classifier.node_may_affect(source, v)
+                                && entry.finder.run.distance(v).is_some()
+                            {
+                                entry.pending = Pending::Repair(vec![v]);
+                            }
+                        }
+                        (Pending::Repair(nodes), true) => {
+                            if !nodes.contains(&v)
+                                && self.classifier.node_may_affect(source, v)
+                                && entry.finder.run.distance(v).is_some()
+                            {
+                                nodes.push(v);
+                            }
+                        }
+                        (Pending::Clean, false) => {
+                            if improvement_possible(net, &entry.finder.run, v, alpha, neg_ln_q) {
+                                entry.pending = Pending::Recompute;
+                            }
+                        }
+                        (Pending::Repair(nodes), false) => {
+                            // An improving flip that exactly cancels a
+                            // pending worsening flip nets out to nothing;
+                            // any other improvement over a stale run is
+                            // unclassifiable (the run's labels predate
+                            // the pending repairs).
+                            if let Some(pos) = nodes.iter().position(|&x| x == v) {
+                                nodes.swap_remove(pos);
+                                if nodes.is_empty() {
+                                    entry.pending = Pending::Clean;
+                                }
+                            } else {
+                                entry.pending = Pending::Recompute;
+                            }
+                        }
+                        (Pending::Recompute, _) => unreachable!("filtered above"),
+                    }
+                }
+            }
+        }
+        self.mirror = relay_now;
+        self.mirror_epoch = Some(epoch);
     }
 
     /// The Algorithm-1 run from `source` under `capacity`, reused when
@@ -377,23 +612,65 @@ impl<'n> ChannelFinderCache<'n> {
         mask: Option<&SearchMask>,
         source: NodeId,
     ) -> &ChannelFinder<'n> {
+        self.observe(capacity);
         let idx = source.index();
-        let key = (capacity.epoch(), mask.map_or(0, |m| m.hash()));
+        let epoch = capacity.epoch();
+        let key = (epoch, mask.map_or(0, |m| m.hash()));
         match &mut self.entries[idx] {
-            Some((cached, _)) if *cached == key => {
+            Some(entry) if entry.key == key => {
                 qnet_obs::counter!("core.channel.cache_hits");
                 self.efficiency.hits += 1;
             }
-            Some((cached, finder)) => {
+            Some(entry) if entry.key.1 == key.1 && entry.pending == Pending::Clean => {
+                // Capacity moved, but no relay flip can reach this run:
+                // revalidate in O(1), no search.
+                qnet_obs::counter!("core.channel.cache_hits");
+                qnet_obs::counter!("graph.delta.clean");
+                self.efficiency.hits += 1;
+                entry.key = key;
+                entry.finder.epoch = epoch;
+            }
+            Some(entry)
+                if entry.key.1 == key.1
+                    && key.1 == 0
+                    && matches!(entry.pending, Pending::Repair(_)) =>
+            {
+                let Pending::Repair(blocked) =
+                    std::mem::replace(&mut entry.pending, Pending::Clean)
+                else {
+                    unreachable!("guard matched Repair");
+                };
+                qnet_obs::counter!("core.channel.cache_repairs");
+                self.efficiency.repairs += 1;
+                repair_algorithm1(
+                    &mut self.ws,
+                    &mut self.scratch,
+                    &self.csr,
+                    self.net,
+                    capacity,
+                    &mut entry.finder.run,
+                    &blocked,
+                );
+                entry.key = key;
+                entry.finder.epoch = epoch;
+            }
+            Some(entry) => {
                 qnet_obs::counter!("core.channel.cache_misses");
                 qnet_obs::counter!("core.channel.cache_refreshes");
+                if entry.key.1 == key.1 {
+                    // Same mask, stale capacity: this full search is the
+                    // delta engine declining to repair (improving flip
+                    // or masked entry), not a key change.
+                    qnet_obs::counter!("graph.delta.recomputed");
+                }
                 self.efficiency.refreshes += 1;
                 let (view, rejected) =
                     run_algorithm1_quiet(&mut self.ws, &self.csr, self.net, capacity, source, mask);
-                view.write_run(&mut finder.run);
-                finder.epoch = capacity.epoch();
-                finish_finder_run(source, rejected, capacity.epoch());
-                *cached = key;
+                view.write_run(&mut entry.finder.run);
+                entry.finder.epoch = epoch;
+                finish_finder_run(source, rejected, epoch);
+                entry.key = key;
+                entry.pending = Pending::Clean;
                 self.searches += 1;
             }
             entry @ None => {
@@ -404,14 +681,21 @@ impl<'n> ChannelFinderCache<'n> {
                 let finder = ChannelFinder {
                     net: self.net,
                     run: view.to_run(),
-                    epoch: capacity.epoch(),
+                    epoch,
                 };
-                finish_finder_run(source, rejected, capacity.epoch());
-                *entry = Some((key, finder));
+                finish_finder_run(source, rejected, epoch);
+                *entry = Some(Entry {
+                    key,
+                    pending: Pending::Clean,
+                    finder,
+                });
                 self.searches += 1;
             }
         }
-        &self.entries[idx].as_ref().expect("entry just populated").1
+        &self.entries[idx]
+            .as_ref()
+            .expect("entry just populated")
+            .finder
     }
 
     /// Batch-refreshes the entries for `sources` under `(capacity,
@@ -439,25 +723,67 @@ impl<'n> ChannelFinderCache<'n> {
         mask: Option<&SearchMask>,
         sources: &[NodeId],
     ) {
+        // One coherent snapshot *before* any classification or fan-out.
+        // Every key installed below — including by the pooled merge — is
+        // keyed to this observed epoch, and `capacity` cannot mutate
+        // while the call borrows it, so a delta can never land between
+        // the snapshot and the install (the warm staleness hazard
+        // `tests/delta_cache.rs` locks down).
+        self.observe(capacity);
         let epoch = capacity.epoch();
         let key = (epoch, mask.map_or(0, |m| m.hash()));
-        // Collect stale sources in input order (first occurrence wins),
-        // recycling each stale entry's run as the staging buffer.
+        // Resolve delta-classified entries inline, in source order and
+        // on the calling thread (repairs share the cache's workspace and
+        // are cheap); collect the remaining stale sources in input order
+        // (first occurrence wins), recycling each stale entry's run as
+        // the staging buffer for the pooled searches.
         let mut jobs: Vec<(NodeId, DijkstraRun)> = Vec::new();
         for &src in sources {
-            let entry = &mut self.entries[src.index()];
-            match entry {
-                Some((cached, _)) if *cached == key => {}
+            let entry_slot = &mut self.entries[src.index()];
+            match entry_slot {
+                Some(entry) if entry.key == key => {}
+                Some(entry) if entry.key.1 == key.1 && entry.pending == Pending::Clean => {
+                    qnet_obs::counter!("graph.delta.clean");
+                    entry.key = key;
+                    entry.finder.epoch = epoch;
+                }
+                Some(entry)
+                    if entry.key.1 == key.1
+                        && key.1 == 0
+                        && matches!(entry.pending, Pending::Repair(_)) =>
+                {
+                    let Pending::Repair(blocked) =
+                        std::mem::replace(&mut entry.pending, Pending::Clean)
+                    else {
+                        unreachable!("guard matched Repair");
+                    };
+                    qnet_obs::counter!("core.channel.cache_repairs");
+                    self.efficiency.repairs += 1;
+                    repair_algorithm1(
+                        &mut self.ws,
+                        &mut self.scratch,
+                        &self.csr,
+                        self.net,
+                        capacity,
+                        &mut entry.finder.run,
+                        &blocked,
+                    );
+                    entry.key = key;
+                    entry.finder.epoch = epoch;
+                }
                 taken => {
                     if jobs.iter().any(|(s, _)| *s == src) {
                         continue;
                     }
                     let run = match taken.take() {
-                        Some((_, finder)) => {
+                        Some(entry) => {
                             qnet_obs::counter!("core.channel.cache_misses");
                             qnet_obs::counter!("core.channel.cache_refreshes");
+                            if entry.key.1 == key.1 {
+                                qnet_obs::counter!("graph.delta.recomputed");
+                            }
                             self.efficiency.refreshes += 1;
-                            finder.run
+                            entry.finder.run
                         }
                         None => {
                             qnet_obs::counter!("core.channel.cache_misses");
@@ -503,14 +829,15 @@ impl<'n> ChannelFinderCache<'n> {
         // and emit the deferred per-run events deterministically.
         for (src, run, rejected) in results {
             finish_finder_run(src, rejected, epoch);
-            self.entries[src.index()] = Some((
+            self.entries[src.index()] = Some(Entry {
                 key,
-                ChannelFinder {
+                pending: Pending::Clean,
+                finder: ChannelFinder {
                     net: self.net,
                     run,
                     epoch,
                 },
-            ));
+            });
         }
     }
 
@@ -530,8 +857,10 @@ impl<'n> ChannelFinderCache<'n> {
         self.finder_masked(capacity, mask, a).channel_to(b)
     }
 
-    /// Number of Algorithm-1 searches this cache has actually run
-    /// (cache misses); hits are free. This is the deterministic
+    /// Number of *full* Algorithm-1 searches this cache has actually
+    /// run (cache misses); hits, O(1) revalidations, and in-place delta
+    /// repairs are all excluded (repairs are tallied in
+    /// [`CacheEfficiency::repairs`]). This is the deterministic
     /// per-cache cost metric the repair engine reports as latency —
     /// unlike the global obs counters it is unaffected by concurrent
     /// work elsewhere in the process.
@@ -727,8 +1056,8 @@ mod tests {
     }
 
     #[test]
-    fn cache_efficiency_tallies_hits_refreshes_and_fills() {
-        let (net, [a, _s1, b]) = two_route_net(0.99);
+    fn cache_efficiency_tallies_hits_refreshes_fills_and_repairs() {
+        let (net, [a, s1, b]) = two_route_net(0.99);
         let mut cap = CapacityMap::new(&net);
         let mut cache = ChannelFinderCache::new(&net);
         assert_eq!(cache.efficiency().hit_rate(), 1.0, "vacuous before use");
@@ -737,31 +1066,48 @@ mod tests {
         cache.channel(&cap, a, b); // same key → hit
         cache.channel(&cap, b, a); // first touch of source b → fill
         let ch = cache.channel(&cap, a, b).unwrap(); // hit again
-        cap.reserve(&ch); // epoch bump
-        cache.channel(&cap, a, b); // stale entry → in-place refresh
+        assert_eq!(ch.interior_switches(), &[s1]);
+
+        // Epoch bump without a relay flip (s1: 4 → 2 free qubits): the
+        // delta engine revalidates in O(1) — a hit, not a refresh.
+        cap.reserve(&ch);
+        cache.channel(&cap, a, b);
+
+        // Second reservation exhausts s1 (2 → 0): a worsening flip, so
+        // the stale entry gets an in-place repair, not a full search.
+        cap.reserve(&ch);
+        let detour = cache.channel(&cap, a, b).unwrap();
+        assert_eq!(detour.link_count(), 1, "repair must route around s1");
+
+        // Releasing restores the relay (0 → 2): improving deltas cannot
+        // be repaired in place, so the next lookup is a full recompute.
+        cap.release(&ch);
+        let back = cache.channel(&cap, a, b).unwrap();
+        assert_eq!(back.interior_switches(), &[s1], "recompute sees s1 again");
 
         let eff = cache.efficiency();
         assert_eq!(
             eff,
             CacheEfficiency {
-                hits: 2,
+                hits: 3,
                 refreshes: 1,
                 fills: 2,
+                repairs: 1,
             }
         );
-        assert_eq!(eff.lookups(), 5);
-        assert!((eff.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(eff.lookups(), 7);
+        assert!((eff.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
         assert_eq!(
             cache.search_count(),
             eff.refreshes + eff.fills,
-            "searches are exactly the misses"
+            "searches are the full-search misses; repairs are not searches"
         );
 
         // clear() drops the entries but keeps the tallies: the next
         // lookup at an unchanged epoch is a fill again, not a hit.
         cache.clear();
         let ch2 = cache.channel(&cap, a, b).unwrap();
-        assert_eq!(ch2, ch, "clear must not change results, only reuse");
+        assert_eq!(ch2, back, "clear must not change results, only reuse");
         assert_eq!(cache.efficiency().fills, 3, "post-clear lookup is a fill");
     }
 

@@ -258,6 +258,18 @@ impl CapacityMap {
         self.free[v.index()] = self.free[v.index()].saturating_sub(qubits);
         self.epoch = next_epoch();
     }
+
+    /// Returns `qubits` free qubits to `v` (saturating at `u32::MAX`) —
+    /// the inverse of [`CapacityMap::withdraw`], used by the stream
+    /// scenario's churn arm to model a degraded switch coming back. A
+    /// zero-qubit grant changes nothing and keeps the epoch.
+    pub fn grant(&mut self, v: NodeId, qubits: u32) {
+        if qubits == 0 {
+            return;
+        }
+        self.free[v.index()] = self.free[v.index()].saturating_add(qubits);
+        self.epoch = next_epoch();
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +441,25 @@ mod tests {
         assert_ne!(a.epoch(), b.epoch(), "epochs are globally unique");
         // ...but content equality still holds.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn withdraw_and_grant_are_inverse_and_epoch_aware() {
+        let (net, [_u0, s1, _u2]) = line_net();
+        let mut cap = CapacityMap::new(&net);
+        let e0 = cap.epoch();
+        cap.withdraw(s1, 0);
+        cap.grant(s1, 0);
+        assert_eq!(cap.epoch(), e0, "zero-qubit deltas keep the epoch");
+        cap.withdraw(s1, 3);
+        assert_eq!(cap.free(s1), 1);
+        assert!(!cap.can_relay(s1));
+        let e1 = cap.epoch();
+        assert_ne!(e1, e0, "withdraw bumps the epoch");
+        cap.grant(s1, 3);
+        assert_eq!(cap.free(s1), 4);
+        assert!(cap.can_relay(s1));
+        assert_ne!(cap.epoch(), e1, "grant bumps the epoch");
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::channel::{CapacityMap, Channel};
 use crate::model::QuantumNetwork;
 use crate::tree::EntanglementTree;
 
-use crate::algorithms::ChannelFinder;
+use crate::algorithms::ChannelFinderCache;
 
 /// Workload and service parameters of the online simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -133,6 +133,11 @@ pub fn simulate_online(
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut capacity = CapacityMap::new(net);
+    // Admission searches go through the delta-aware cache: session
+    // arrivals/departures perturb capacity locally, so most per-slot
+    // refreshes are O(1) revalidations or in-place SSSP repairs rather
+    // than full searches.
+    let mut cache = ChannelFinderCache::new(net);
     let mut active: Vec<Session> = Vec::new();
     let mut stats = OnlineStats::default();
     let mut session_rate_sum = 0.0f64;
@@ -178,7 +183,7 @@ pub fn simulate_online(
             } else {
                 free.shuffle(&mut rng);
                 let members: Vec<_> = free[..size].to_vec();
-                match route_group(net, &mut capacity, &members) {
+                match route_group(net, &mut cache, &mut capacity, &members) {
                     Some(tree) => {
                         stats.admitted += 1;
                         session_rate_sum += tree.rate().value();
@@ -217,9 +222,12 @@ pub fn simulate_online(
 }
 
 /// Prim-style group routing over shared residual capacity; reserves the
-/// qubits on success, touches nothing on failure.
+/// qubits on success, touches nothing on failure. Searches go through
+/// the delta-aware `cache`, which refreshes incrementally across the
+/// trial-capacity churn.
 fn route_group(
     net: &QuantumNetwork,
+    cache: &mut ChannelFinderCache<'_>,
     capacity: &mut CapacityMap,
     members: &[qnet_graph::NodeId],
 ) -> Option<EntanglementTree> {
@@ -227,11 +235,10 @@ fn route_group(
     in_tree[members[0].index()] = true;
     let mut tree = EntanglementTree::new();
     let mut trial_capacity = capacity.clone();
-    let mut ws = qnet_graph::DijkstraWorkspace::with_capacity(net.graph().node_count());
     for _ in 1..members.len() {
         let mut best: Option<Channel> = None;
         for &src in members.iter().filter(|u| in_tree[u.index()]) {
-            let finder = ChannelFinder::from_source_in(&mut ws, net, &trial_capacity, src);
+            let finder = cache.finder(&trial_capacity, src);
             for &dst in members.iter().filter(|u| !in_tree[u.index()]) {
                 if let Some(c) = finder.channel_to(dst) {
                     if best.as_ref().is_none_or(|b| c.rate > b.rate) {

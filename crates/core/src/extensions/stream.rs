@@ -73,6 +73,29 @@ pub struct StreamConfig {
     /// Trace-sampling period: every N-th `Blocked` decision point is
     /// admitted to the flight recorder.
     pub sample_every: u64,
+    /// Capacity-churn period in slots: every N-th slot a random switch
+    /// loses [`churn_qubits`](Self::churn_qubits) free qubits for
+    /// [`churn_hold`](Self::churn_hold) slots (maintenance windows,
+    /// calibration downtime). `0` disables churn. Churn draws from its
+    /// own RNG stream, so enabling it never perturbs the base workload.
+    #[serde(default)]
+    pub churn_every: u64,
+    /// Qubits withdrawn per churn event (capped at the switch's free
+    /// count so the later restore is exact).
+    #[serde(default = "default_churn_qubits")]
+    pub churn_qubits: u32,
+    /// Slots a churn withdrawal lasts before the qubits are granted
+    /// back.
+    #[serde(default = "default_churn_hold")]
+    pub churn_hold: u64,
+}
+
+fn default_churn_qubits() -> u32 {
+    2
+}
+
+fn default_churn_hold() -> u64 {
+    64
 }
 
 impl Default for StreamConfig {
@@ -89,6 +112,9 @@ impl Default for StreamConfig {
             hotspot_fraction: 0.3,
             hotspot_weight: 4.0,
             sample_every: 8,
+            churn_every: 0,
+            churn_qubits: default_churn_qubits(),
+            churn_hold: default_churn_hold(),
         }
     }
 }
@@ -124,6 +150,10 @@ impl StreamConfig {
         );
         assert!(self.hotspot_weight >= 1.0, "hotspot weight must be ≥ 1");
         assert!(self.sample_every >= 1, "sampling period must be positive");
+        if self.churn_every > 0 {
+            assert!(self.churn_qubits >= 1, "churn must withdraw ≥ 1 qubit");
+            assert!(self.churn_hold >= 1, "churn hold must be ≥ 1 slot");
+        }
     }
 
     /// The diurnally modulated arrival probability at `slot`.
@@ -155,7 +185,9 @@ pub struct StreamStats {
     pub total_searches: u64,
     /// `Blocked` decision points dropped by the trace sampler.
     pub sampled_out: u64,
-    /// Finder-cache hit/refresh/fill tallies over the run.
+    /// Capacity-churn events injected (0 when churn is disabled).
+    pub churn_events: u64,
+    /// Finder-cache hit/refresh/fill/repair tallies over the run.
     pub cache: CacheEfficiency,
 }
 
@@ -212,6 +244,9 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
     );
 
     let mut rng = StdRng::seed_from_u64(seed);
+    // Churn draws from its own stream so the base workload (arrivals,
+    // sizes, members, holds) is bit-identical with churn on or off.
+    let mut churn_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut capacity = CapacityMap::new(net);
     let mut cache = ChannelFinderCache::new(net);
     let mut sampler = TraceSampler::every(cfg.sample_every);
@@ -229,12 +264,16 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
         "admitted",
         "blocked_no_users",
         "blocked_capacity",
+        "churn_events",
     ] {
         series.rate_add(key, 0);
     }
 
     let users = net.users().to_vec();
     let hot_count = (cfg.hotspot_fraction * users.len() as f64).ceil() as usize;
+    let switches: Vec<NodeId> = net.switches().collect();
+    // Outstanding churn withdrawals: (restore_at, switch, qubits).
+    let mut maintenance: Vec<(u64, NodeId, u32)> = Vec::new();
 
     let mut active: Vec<Session> = Vec::new();
     let mut stats = StreamStats::default();
@@ -256,6 +295,34 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
             }
         }
         active = kept;
+
+        // Capacity churn: restore expired withdrawals, then maybe take
+        // a new switch down. Runs before the arrival so admission sees
+        // the churned map — each withdraw/grant is a capacity delta the
+        // finder cache absorbs incrementally.
+        if cfg.churn_every > 0 {
+            let mut due = Vec::new();
+            maintenance.retain(|&(restore_at, node, qubits)| {
+                if restore_at <= now {
+                    due.push((node, qubits));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (node, qubits) in due {
+                capacity.grant(node, qubits);
+            }
+            if now % cfg.churn_every == 0 && now > 0 && !switches.is_empty() {
+                let victim = switches[churn_rng.random_range(0..switches.len())];
+                let taken = cfg.churn_qubits.min(capacity.free(victim));
+                capacity.withdraw(victim, taken);
+                maintenance.push((now + cfg.churn_hold, victim, taken));
+                stats.churn_events += 1;
+                series.rate_add("churn_events", 1);
+                qnet_obs::counter!("core.stream.churn_events");
+            }
+        }
 
         if rng.random_bool(cfg.arrival_at(now)) {
             stats.arrived += 1;
@@ -492,6 +559,7 @@ mod tests {
                 "admitted",
                 "blocked_no_users",
                 "blocked_capacity",
+                "churn_events",
             ] {
                 assert!(w.rates.contains_key(key), "window {} lacks {key}", w.index);
             }
@@ -566,6 +634,48 @@ mod tests {
         // 1-in-8 cadence: the first block of each run of 8 is kept.
         let kept = blocked.div_ceil(8);
         assert_eq!(out.stats.sampled_out, blocked - kept);
+    }
+
+    fn churn_cfg() -> StreamConfig {
+        StreamConfig {
+            churn_every: 16,
+            churn_qubits: 4,
+            churn_hold: 48,
+            ..short_cfg()
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_counted_exactly() {
+        let a = simulate_stream(&net(), churn_cfg(), 21);
+        let b = simulate_stream(&net(), churn_cfg(), 21);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.series, b.series);
+        // Slots 16, 32, … 496 fire: (slots - 1) / churn_every events.
+        assert_eq!(a.stats.churn_events, (512 - 1) / 16);
+        let sum: u64 = a
+            .series
+            .windows
+            .iter()
+            .map(|w| w.rates["churn_events"])
+            .sum();
+        assert_eq!(sum, a.stats.churn_events, "windows account for every event");
+        // Relay-killing withdrawals must exercise the repair path.
+        assert!(
+            a.stats.cache.repairs > 0,
+            "churn must trigger delta repairs"
+        );
+    }
+
+    #[test]
+    fn churn_perturbs_capacity_but_not_the_base_workload() {
+        let calm = simulate_stream(&net(), short_cfg(), 22);
+        let churned = simulate_stream(&net(), churn_cfg(), 22);
+        // Arrivals draw from the main RNG stream only, so the offered
+        // load is bit-identical; only admission outcomes may move.
+        assert_eq!(calm.stats.arrived, churned.stats.arrived);
+        assert_eq!(calm.stats.churn_events, 0);
+        assert!(churned.stats.churn_events > 0);
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //!       [--trials N] [--seed S] [--out DIR]
 //! repro obs-diff <baseline.json> <candidate.json> \
 //!       [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only]
-//! repro fuzz --budget <n> [--seed S] [--churn] [--out FILE]
+//! repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--out FILE]
 //! repro churn [--trials N] [--failures F] [--seed S] [--slots N] \
 //!       [--out DIR] [--obs-report]
 //! repro profile <paper-default|waxman-240> [--seed S] [--out DIR] \
 //!       [--top N] [--bench-out FILE]
 //! repro stream [--slots N] [--window W] [--seed S] [--arrival P] \
-//!       [--sample-every N] [--out DIR]
+//!       [--sample-every N] [--churn-every N] [--out DIR]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -29,7 +29,10 @@
 //! checks); on any failure it shrinks the spec to a minimal
 //! counterexample, writes the JSON report to `--out`, and exits 2.
 //! `--churn` additionally injects one seeded failure per trial and
-//! checks the repair ladder's invariants.
+//! checks the repair ladder's invariants. `--delta` additionally pushes
+//! a seeded capacity-delta sequence through the dirty-set channel-finder
+//! cache, cross-checking every step bitwise against a cold
+//! recomputation and shrinking failing delta scripts.
 //!
 //! `churn` runs the survivability battery: seeded failure plans
 //! replayed against solved networks, comparing do-nothing vs. the
@@ -38,7 +41,9 @@
 //! flow as the experiment runner, under the id `churn`.
 //!
 //! `stream` drives the sustained-load workload (diurnal arrivals,
-//! heavy-tailed group sizes, hot-spot users) and writes the windowed
+//! heavy-tailed group sizes, hot-spot users, and — with
+//! `--churn-every N` — periodic capacity withdrawals the delta-aware
+//! cache absorbs incrementally) and writes the windowed
 //! telemetry artifacts: `stream-windows.csv`, `stream-summary.csv`,
 //! the `stream.metrics.jsonl` window stream, a schema-4 `stream.json`
 //! run report, and a Prometheus-style `stream.prom`. Everything except

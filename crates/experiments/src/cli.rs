@@ -72,6 +72,8 @@ pub struct StreamArgs {
     pub arrival: f64,
     /// Trace-sampling period for `Blocked` decision points.
     pub sample_every: u64,
+    /// Capacity-churn period in slots (`0` disables the churn arm).
+    pub churn_every: u64,
     /// Output directory for the CSVs, metrics stream, report, and
     /// Prometheus exposition.
     pub out: PathBuf,
@@ -86,6 +88,7 @@ impl StreamArgs {
             window_slots: self.window,
             base_arrival: self.arrival,
             sample_every: self.sample_every,
+            churn_every: self.churn_every,
             ..muerp_core::extensions::StreamConfig::default()
         }
     }
@@ -119,6 +122,9 @@ pub struct FuzzArgs {
     pub base_seed: u64,
     /// Also run the churn oracle (failure + repair) per trial.
     pub churn: bool,
+    /// Also run the delta oracle (capacity deltas through the dirty-set
+    /// channel-finder cache vs. cold recomputation) per trial.
+    pub delta: bool,
     /// Where to write the JSON counterexample report on failure.
     pub out: PathBuf,
 }
@@ -130,6 +136,7 @@ impl FuzzArgs {
             budget: self.budget,
             base_seed: self.base_seed,
             churn: self.churn,
+            delta: self.delta,
         }
     }
 }
@@ -223,6 +230,7 @@ where
     let mut seed = 2024u64;
     let mut arrival = 0.35f64;
     let mut sample_every = 8u64;
+    let mut churn_every = 0u64;
     let mut out = PathBuf::from("results/stream");
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
@@ -259,6 +267,10 @@ where
                     return Err("--sample-every must be positive".into());
                 }
             }
+            "--churn-every" => {
+                let v = argv.next().ok_or("--churn-every needs a value")?;
+                churn_every = v.parse().map_err(|e| format!("bad --churn-every: {e}"))?;
+            }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a directory")?;
                 out = PathBuf::from(v);
@@ -266,7 +278,8 @@ where
             other => {
                 return Err(format!(
                     "unknown stream argument: {other}\nusage: repro stream [--slots N] \
-                 [--window W] [--seed S] [--arrival P] [--sample-every N] [--out DIR]"
+                 [--window W] [--seed S] [--arrival P] [--sample-every N] \
+                 [--churn-every N] [--out DIR]"
                 ))
             }
         }
@@ -277,6 +290,7 @@ where
         seed,
         arrival,
         sample_every,
+        churn_every,
         out,
     })
 }
@@ -394,11 +408,13 @@ where
     let mut budget: Option<usize> = None;
     let mut base_seed = 0u64;
     let mut churn = false;
+    let mut delta = false;
     let mut out = PathBuf::from("fuzz-counterexample.json");
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--churn" => churn = true,
+            "--delta" => delta = true,
             "--budget" => {
                 let v = argv.next().ok_or("--budget needs a value")?;
                 let n: usize = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
@@ -418,12 +434,14 @@ where
             other => return Err(format!("unknown fuzz argument: {other}")),
         }
     }
-    let budget = budget
-        .ok_or("usage: repro fuzz --budget <n> [--seed S] [--churn] [--out FILE]".to_string())?;
+    let budget = budget.ok_or(
+        "usage: repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--out FILE]".to_string(),
+    )?;
     Ok(FuzzArgs {
         budget,
         base_seed,
         churn,
+        delta,
         out,
     })
 }
@@ -682,9 +700,11 @@ mod tests {
         assert_eq!(f.budget, 500);
         assert_eq!(f.base_seed, 0);
         assert!(!f.churn);
+        assert!(!f.delta);
         assert_eq!(f.out, PathBuf::from("fuzz-counterexample.json"));
         assert_eq!(f.config().budget, 500);
         assert!(!f.config().churn);
+        assert!(!f.config().delta);
 
         let c = parse_command(s(&["fuzz", "--budget", "9", "--churn"])).unwrap();
         let Command::Fuzz(f) = c else {
@@ -692,6 +712,14 @@ mod tests {
         };
         assert!(f.churn);
         assert!(f.config().churn);
+
+        let c = parse_command(s(&["fuzz", "--budget", "9", "--delta"])).unwrap();
+        let Command::Fuzz(f) = c else {
+            panic!("expected Fuzz, got {c:?}");
+        };
+        assert!(f.delta);
+        assert!(!f.churn);
+        assert!(f.config().delta);
 
         let c = parse_command(s(&[
             "fuzz",
@@ -866,11 +894,13 @@ mod tests {
         assert_eq!(a.seed, 2024);
         assert_eq!(a.arrival, 0.35);
         assert_eq!(a.sample_every, 8);
+        assert_eq!(a.churn_every, 0);
         assert_eq!(a.out, PathBuf::from("results/stream"));
         let cfg = a.config();
         assert_eq!(cfg.slots, 2048);
         assert_eq!(cfg.window_slots, 64);
         assert_eq!(cfg.base_arrival, 0.35);
+        assert_eq!(cfg.churn_every, 0);
 
         let c = parse_command(s(&[
             "stream",
@@ -884,6 +914,8 @@ mod tests {
             "0.5",
             "--sample-every",
             "4",
+            "--churn-every",
+            "16",
             "--out",
             "/tmp/stream",
         ]))
@@ -896,8 +928,10 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.arrival, 0.5);
         assert_eq!(a.sample_every, 4);
+        assert_eq!(a.churn_every, 16);
         assert_eq!(a.out, PathBuf::from("/tmp/stream"));
         assert_eq!(a.config().sample_every, 4);
+        assert_eq!(a.config().churn_every, 16);
     }
 
     #[test]
@@ -915,6 +949,9 @@ mod tests {
             .unwrap_err()
             .contains("positive"));
         assert!(parse_command(s(&["stream", "--seed"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_command(s(&["stream", "--churn-every"]))
             .unwrap_err()
             .contains("needs a value"));
         assert!(parse_command(s(&["stream", "--bogus"]))

@@ -135,6 +135,8 @@ pub fn stream_tables(cfg: &StreamConfig, seed: u64, outcome: &StreamOutcome) -> 
         ("p50-admission-searches".into(), vec![p50]),
         ("p99-admission-searches".into(), vec![p99]),
         ("cache-hit-rate".into(), vec![stats.cache.hit_rate()]),
+        ("cache-repairs".into(), vec![stats.cache.repairs as f64]),
+        ("churn-events".into(), vec![stats.churn_events as f64]),
         ("trace-sampled-out".into(), vec![stats.sampled_out as f64]),
     ];
 

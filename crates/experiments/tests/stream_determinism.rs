@@ -26,6 +26,18 @@ fn small_cfg() -> StreamConfig {
     }
 }
 
+/// The small workload with the capacity-churn arm engaged: every 16
+/// slots a switch loses 4 qubits for 48 slots, exercising the delta
+/// engine's repair/revalidate/recompute paths mid-run.
+fn churn_cfg() -> StreamConfig {
+    StreamConfig {
+        churn_every: 16,
+        churn_qubits: 4,
+        churn_hold: 48,
+        ..small_cfg()
+    }
+}
+
 fn run(seed: u64) -> StreamRun {
     run_workload(small_cfg(), seed)
 }
@@ -99,6 +111,7 @@ fn written_artifacts_match_between_two_output_dirs() {
         seed: 11,
         arrival: 0.35,
         sample_every: 8,
+        churn_every: 0,
         out: base.join(dir),
     };
     let (_, written_a) = run_stream(&args("a")).expect("run a");
@@ -131,6 +144,76 @@ fn written_artifacts_match_between_two_output_dirs() {
         }
     }
     let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn churned_run_is_bitwise_stable_and_width_invariant() {
+    let _serial = serial();
+    // Double run: every artifact byte-identical under mid-run deltas.
+    let a = run_workload(churn_cfg(), 2024);
+    let b = run_workload(churn_cfg(), 2024);
+    assert_eq!(a.render_text(), b.render_text(), "churned stdout tables");
+    assert_eq!(a.outcome, b.outcome, "churned stats and series");
+    assert_eq!(render_report(&a), render_report(&b), "churned report");
+
+    // Same run at pool widths 1 and 4 (the CI delta-smoke matrix runs
+    // the binary under MUERP_THREADS=1 and =4; the programmatic default
+    // override is the in-process equivalent).
+    qnet_pool::set_default_threads(Some(1));
+    let narrow = run_workload(churn_cfg(), 2024);
+    qnet_pool::set_default_threads(Some(4));
+    let wide = run_workload(churn_cfg(), 2024);
+    qnet_pool::set_default_threads(None);
+    assert_eq!(narrow.render_text(), wide.render_text(), "width 1 vs 4");
+    assert_eq!(narrow.outcome, wide.outcome, "width 1 vs 4 outcome");
+    assert_eq!(
+        render_report(&narrow),
+        render_report(&wide),
+        "width 1 vs 4 report"
+    );
+    // And the churn arm actually ran and actually perturbed the run.
+    assert_eq!(a.outcome.stats.churn_events, (512 - 1) / 16);
+    let calm = run_workload(small_cfg(), 2024);
+    assert_ne!(
+        a.outcome.stats, calm.outcome.stats,
+        "deltas must perturb the run"
+    );
+    assert_eq!(calm.outcome.stats.churn_events, 0);
+}
+
+#[test]
+fn churned_report_carries_the_delta_counters() {
+    let _serial = serial();
+    let run = run_workload(churn_cfg(), 5);
+    let stats = &run.outcome.stats;
+    assert!(stats.churn_events > 0, "churn must fire");
+    assert!(stats.cache.repairs > 0, "deltas must exercise SSSP repair");
+    // Schema-4 report: the delta engine's counters are first-class.
+    assert_eq!(
+        run.report.counter_total("core.stream.churn_events"),
+        stats.churn_events
+    );
+    assert!(run.report.counter_total("graph.delta.repaired") > 0);
+    assert!(
+        run.report.counter_total("graph.delta.clean")
+            + run.report.counter_total("graph.delta.repaired")
+            + run.report.counter_total("graph.delta.recomputed")
+            > 0
+    );
+    // The summary table surfaces the same tallies.
+    let summary = run
+        .tables
+        .iter()
+        .find(|t| t.id == "stream-summary")
+        .expect("summary table present");
+    assert_eq!(
+        summary.cell("churn-events", "value"),
+        Some(stats.churn_events as f64)
+    );
+    assert_eq!(
+        summary.cell("cache-repairs", "value"),
+        Some(stats.cache.repairs as f64)
+    );
 }
 
 #[test]

@@ -50,6 +50,7 @@ pub mod centrality;
 pub mod connectivity;
 pub mod csr;
 pub mod dcmst;
+pub mod delta;
 pub mod dot;
 pub mod graph;
 pub mod ksp;
@@ -61,6 +62,7 @@ pub mod unionfind;
 pub mod weight;
 
 pub use csr::{Adjacency, CsrGraph};
+pub use delta::{dijkstra_repair_into, DeltaClassifier, RepairScratch, RepairStats, SsspDelta};
 pub use graph::{EdgeId, EdgeRef, Graph, NodeId};
 pub use ksp::{
     k_shortest_paths, k_shortest_paths_adj_in, k_shortest_paths_in, k_shortest_paths_pooled_in,

@@ -131,14 +131,14 @@ impl Default for DijkstraRun {
 /// dirty workspace against fresh runs).
 #[derive(Clone, Debug)]
 pub struct DijkstraWorkspace {
-    generation: u32,
-    active_len: usize,
-    source: NodeId,
-    stamp: Vec<u32>,
-    dist: Vec<f64>,
-    prev: Vec<Option<(NodeId, EdgeId)>>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<HeapEntry>,
+    pub(crate) generation: u32,
+    pub(crate) active_len: usize,
+    pub(crate) source: NodeId,
+    pub(crate) stamp: Vec<u32>,
+    pub(crate) dist: Vec<f64>,
+    pub(crate) prev: Vec<Option<(NodeId, EdgeId)>>,
+    pub(crate) settled: Vec<bool>,
+    pub(crate) heap: BinaryHeap<HeapEntry>,
 }
 
 impl Default for DijkstraWorkspace {
@@ -171,7 +171,7 @@ impl DijkstraWorkspace {
 
     /// Starts a new run over `n` vertices: O(1) unless buffers must grow
     /// or the 32-bit generation wraps (once per ~4 billion runs).
-    fn begin(&mut self, n: usize) {
+    pub(crate) fn begin(&mut self, n: usize) {
         qnet_obs::counter!("graph.workspace.runs");
         self.grow(n);
         self.active_len = n;
@@ -198,12 +198,12 @@ impl DijkstraWorkspace {
     }
 
     #[inline]
-    fn is_current(&self, i: usize) -> bool {
+    pub(crate) fn is_current(&self, i: usize) -> bool {
         self.stamp[i] == self.generation
     }
 
     #[inline]
-    fn dist_at(&self, i: usize) -> f64 {
+    pub(crate) fn dist_at(&self, i: usize) -> f64 {
         if self.is_current(i) {
             self.dist[i]
         } else {
@@ -212,7 +212,7 @@ impl DijkstraWorkspace {
     }
 
     #[inline]
-    fn prev_at(&self, i: usize) -> Option<(NodeId, EdgeId)> {
+    pub(crate) fn prev_at(&self, i: usize) -> Option<(NodeId, EdgeId)> {
         if self.is_current(i) {
             self.prev[i]
         } else {
@@ -221,18 +221,41 @@ impl DijkstraWorkspace {
     }
 
     #[inline]
-    fn settled_at(&self, i: usize) -> bool {
+    pub(crate) fn settled_at(&self, i: usize) -> bool {
         self.is_current(i) && self.settled[i]
     }
 
     /// Touches slot `i` for the current run (first write stamps it and
     /// clears run-local flags).
     #[inline]
-    fn touch(&mut self, i: usize) {
+    pub(crate) fn touch(&mut self, i: usize) {
         if !self.is_current(i) {
             self.stamp[i] = self.generation;
             self.settled[i] = false;
             self.prev[i] = None;
+        }
+    }
+
+    /// Reloads a previously materialized [`DijkstraRun`] into the
+    /// workspace, as if the run had just completed here: every finite
+    /// slot is stamped, settled, and carries the stored distance and
+    /// predecessor; every infinite slot reads as untouched.
+    ///
+    /// This is the bridge between cache-resident owned runs and the
+    /// in-place repair of [`crate::delta::dijkstra_repair_into`]: a
+    /// cache loads the stored state, repairs it against a delta, and
+    /// writes the result back — without ever re-running from scratch.
+    pub fn load_run(&mut self, run: &DijkstraRun) {
+        let n = run.dist.len();
+        self.begin(n);
+        self.source = run.source;
+        for i in 0..n {
+            if run.dist[i].is_finite() {
+                self.touch(i);
+                self.dist[i] = run.dist[i];
+                self.prev[i] = run.prev[i];
+                self.settled[i] = true;
+            }
         }
     }
 }
@@ -243,6 +266,12 @@ impl DijkstraWorkspace {
 #[derive(Debug)]
 pub struct DijkstraView<'w> {
     ws: &'w DijkstraWorkspace,
+}
+
+impl<'w> DijkstraView<'w> {
+    pub(crate) fn over(ws: &'w DijkstraWorkspace) -> Self {
+        DijkstraView { ws }
+    }
 }
 
 impl DijkstraView<'_> {
@@ -360,12 +389,28 @@ impl DijkstraRun {
             .filter(|(_, d)| d.is_finite())
             .map(|(i, d)| (NodeId::new(i), *d))
     }
+
+    /// The predecessor hop of `target` in the shortest-path tree, or
+    /// `None` for the source and unreachable nodes.
+    pub fn prev_hop(&self, target: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.prev[target.index()]
+    }
+
+    /// Number of vertex slots the run covers.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` when the run covers no vertices (a default staging run).
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
 }
 
 #[derive(Clone, Debug, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) cost: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}
