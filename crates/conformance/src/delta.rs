@@ -131,22 +131,7 @@ pub fn shrink_ops(
     ops: Vec<DeltaOp>,
     error: ConformanceError,
 ) -> (Vec<DeltaOp>, ConformanceError, usize) {
-    let mut current = ops;
-    let mut current_error = error;
-    let mut steps = 0;
-    'outer: loop {
-        for i in 0..current.len() {
-            let mut candidate = current.clone();
-            candidate.remove(i);
-            if let Err(e) = delta_check_ops(net, &candidate) {
-                current = candidate;
-                current_error = e;
-                steps += 1;
-                continue 'outer;
-            }
-        }
-        return (current, current_error, steps);
-    }
+    crate::shrink::greedy_shrink(ops, error, |candidate| delta_check_ops(net, candidate))
 }
 
 /// Runs the delta oracle on one instance: derive the seeded sequence,

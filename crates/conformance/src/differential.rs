@@ -107,6 +107,20 @@ pub enum ConformanceError {
         /// Length of the (shrunk) failing delta sequence.
         ops: usize,
     },
+    /// The batched admission engine's decision log diverged from the
+    /// sequential cold-routing FCFS oracle on the same request script.
+    ServeDiverged {
+        /// 0-based index of the first diverging decision.
+        step: usize,
+        /// Length of the (shrunk) failing request script.
+        requests: usize,
+    },
+    /// The batched admission engine admitted a solution the independent
+    /// group-tree audit rejects.
+    ServeUnsound {
+        /// Human-readable description of the violated property.
+        detail: String,
+    },
     /// Two identically configured runs disagreed.
     NonDeterministic {
         /// Offending algorithm.
@@ -157,6 +171,14 @@ impl std::fmt::Display for ConformanceError {
                 "delta cache: cached run for source #{source} diverged from cold \
                  recomputation after op #{step} of a {ops}-op delta sequence"
             ),
+            ConformanceError::ServeDiverged { step, requests } => write!(
+                f,
+                "serve: batched decision #{step} diverged from the sequential \
+                 FCFS oracle on a {requests}-request script"
+            ),
+            ConformanceError::ServeUnsound { detail } => {
+                write!(f, "serve: unsound admission: {detail}")
+            }
             ConformanceError::NonDeterministic {
                 algo,
                 first_cost,

@@ -25,6 +25,7 @@ use serde_json::{Map, Value};
 use crate::churn::churn_check;
 use crate::delta::delta_check;
 use crate::differential::{differential_check, ConformanceError};
+use crate::serve::serve_check;
 
 /// Configuration of a fuzz run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +43,10 @@ pub struct FuzzConfig {
     /// cross-check every step against a cold recomputation (`repro
     /// fuzz --delta`).
     pub delta: bool,
+    /// Also run the serve oracle per trial: feed a seeded request
+    /// script to the batched admission engine and the sequential FCFS
+    /// reference and compare every decision (`repro fuzz --serve`).
+    pub serve: bool,
 }
 
 impl Default for FuzzConfig {
@@ -51,6 +56,7 @@ impl Default for FuzzConfig {
             base_seed: 0,
             churn: false,
             delta: false,
+            serve: false,
         }
     }
 }
@@ -66,6 +72,9 @@ pub struct FuzzCase {
     pub churn: bool,
     /// `true` when the trial also exercises the delta-cache oracle.
     pub delta: bool,
+    /// `true` when the trial also exercises the batched-admission
+    /// oracle.
+    pub serve: bool,
 }
 
 impl FuzzCase {
@@ -85,6 +94,9 @@ impl FuzzCase {
         }
         if self.delta {
             delta_check(&net, self.seed)?;
+        }
+        if self.serve {
+            serve_check(&net, self.seed)?;
         }
         Ok(())
     }
@@ -110,6 +122,7 @@ impl FuzzCase {
         );
         out.insert("churn".into(), Value::from(self.churn));
         out.insert("delta".into(), Value::from(self.delta));
+        out.insert("serve".into(), Value::from(self.serve));
         Value::Object(out)
     }
 }
@@ -211,6 +224,7 @@ pub fn derive_case(base_seed: u64, trial: u64) -> FuzzCase {
         seed,
         churn: false,
         delta: false,
+        serve: false,
     }
 }
 
@@ -258,6 +272,7 @@ pub fn shrink_failure(
                 seed: current.seed,
                 churn: current.churn,
                 delta: current.delta,
+                serve: current.serve,
             };
             if let Err(e) = run_case(candidate) {
                 current = candidate;
@@ -302,6 +317,7 @@ pub fn run_fuzz(config: FuzzConfig) -> FuzzOutcome {
         let mut case = derive_case(config.base_seed, trial as u64);
         case.churn = config.churn;
         case.delta = config.delta;
+        case.serve = config.serve;
         outcome.trials += 1;
         if let Err(error) = run_case(case) {
             let (shrunk, error, shrink_steps) = shrink_failure(case, error);
@@ -344,6 +360,7 @@ mod tests {
             base_seed: 2024,
             churn: false,
             delta: false,
+            serve: false,
         });
         assert_eq!(outcome.trials, 12);
         assert!(
@@ -360,6 +377,7 @@ mod tests {
             base_seed: 2025,
             churn: true,
             delta: false,
+            serve: false,
         });
         assert_eq!(outcome.trials, 6);
         assert!(
@@ -376,11 +394,29 @@ mod tests {
             base_seed: 2026,
             churn: false,
             delta: true,
+            serve: false,
         });
         assert_eq!(outcome.trials, 6);
         assert!(
             outcome.is_clean(),
             "unexpected delta failures: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn small_serve_budget_run_is_clean() {
+        let outcome = run_fuzz(FuzzConfig {
+            budget: 4,
+            base_seed: 2027,
+            churn: false,
+            delta: false,
+            serve: true,
+        });
+        assert_eq!(outcome.trials, 4);
+        assert!(
+            outcome.is_clean(),
+            "unexpected serve failures: {:?}",
             outcome.failures
         );
     }
@@ -406,6 +442,7 @@ mod tests {
             base_seed: 5,
             churn: false,
             delta: false,
+            serve: false,
         });
         let json = outcome.to_json();
         assert_eq!(json.get("trials").and_then(Value::as_u64), Some(2));
@@ -421,6 +458,7 @@ mod tests {
             "qubits_per_switch",
             "churn",
             "delta",
+            "serve",
         ] {
             assert!(case_json.get(key).is_some(), "missing {key}");
         }

@@ -32,6 +32,12 @@
 //!   `repro fuzz --budget <n>`: sweeps random topology specs through
 //!   generate→solve→audit, records failing seeds, and shrinks them to a
 //!   minimal counterexample before reporting.
+//! * [`serve`] — the batched-admission oracle: seeded request scripts
+//!   through the `muerp-serve` engine and the sequential cold-routing
+//!   FCFS reference, every decision compared, admitted solutions
+//!   re-audited, failing scripts shrunk to a minimal admission script.
+//! * [`shrink`] — the generic greedy sequence shrinker the delta and
+//!   serve oracles share.
 //! * [`simcheck`] — closes the loop against the Monte-Carlo simulator:
 //!   the measured slot success rate of an executed solution must fall
 //!   inside the Wilson interval around the analytic Eq. 2 rate.
@@ -45,6 +51,8 @@ pub mod differential;
 pub mod fixture;
 pub mod fuzz;
 pub mod metamorphic;
+pub mod serve;
+pub mod shrink;
 pub mod simcheck;
 
 pub use churn::{churn_check, derive_failure, failure_from_json, failure_to_json, ChurnReport};
@@ -56,4 +64,6 @@ pub use metamorphic::{
     check_qubit_monotonicity, check_relabeling_invariance, check_scaling_equivalence,
     check_scaling_law, MetamorphicFailure,
 };
+pub use serve::{derive_requests, serve_check, serve_check_requests, shrink_requests};
+pub use shrink::greedy_shrink;
 pub use simcheck::{monte_carlo_agreement, AgreementReport, SimDisagreement};

@@ -1,0 +1,90 @@
+//! Generic greedy sequence shrinking shared by the delta and serve
+//! oracles.
+//!
+//! Both oracles report counterexamples as *sequences* — capacity deltas
+//! for the cache oracle, requests for the admission oracle — and both
+//! want the same minimization: drop any single element whose removal
+//! keeps the check failing, repeat until every survivor is
+//! load-bearing. [`greedy_shrink`] is that loop, parameterized over the
+//! element type and the failing check; the oracles keep only their
+//! domain-specific `still_fails` closures.
+
+/// Greedily shrinks a failing sequence: repeatedly drops the first
+/// element whose removal keeps `still_fails` returning an error,
+/// restarting the scan after every accepted removal, until no single
+/// removal reproduces the failure. Returns the minimal sequence, the
+/// error it produces, and the number of accepted removals.
+///
+/// `still_fails` must be deterministic — the loop assumes a candidate
+/// that failed once fails again on the final sequence.
+pub fn greedy_shrink<T: Clone, E>(
+    items: Vec<T>,
+    error: E,
+    mut still_fails: impl FnMut(&[T]) -> Result<(), E>,
+) -> (Vec<T>, E, usize) {
+    let mut current = items;
+    let mut current_error = error;
+    let mut steps = 0;
+    'outer: loop {
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Err(e) = still_fails(&candidate) {
+                current = candidate;
+                current_error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return (current, current_error, steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "Fails" whenever the sequence still contains both 3 and 7: the
+    /// shrinker must strip everything else and keep exactly those two,
+    /// in order.
+    #[test]
+    fn shrinks_to_the_load_bearing_core() {
+        let items: Vec<u32> = (0..10).collect();
+        let check = |s: &[u32]| -> Result<(), String> {
+            if s.contains(&3) && s.contains(&7) {
+                Err(format!("{} items", s.len()))
+            } else {
+                Ok(())
+            }
+        };
+        let error = check(&items).expect_err("full sequence fails");
+        let (minimal, final_error, steps) = greedy_shrink(items, error, check);
+        assert_eq!(minimal, [3, 7]);
+        assert_eq!(final_error, "2 items");
+        assert_eq!(steps, 8);
+    }
+
+    #[test]
+    fn irreducible_sequence_is_returned_unchanged() {
+        let items = vec![1u32, 2];
+        let check = |s: &[u32]| -> Result<(), &'static str> {
+            if s.len() == 2 {
+                Err("needs both")
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, steps) = greedy_shrink(items.clone(), "seed error", check);
+        assert_eq!(minimal, items);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn empty_failing_sequence_is_a_fixed_point() {
+        let (minimal, error, steps) =
+            greedy_shrink(Vec::<u32>::new(), "always", |_| Err::<(), _>("always"));
+        assert!(minimal.is_empty());
+        assert_eq!(error, "always");
+        assert_eq!(steps, 0);
+    }
+}

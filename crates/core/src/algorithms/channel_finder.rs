@@ -841,6 +841,24 @@ impl<'n> ChannelFinderCache<'n> {
         }
     }
 
+    /// Eagerly synchronizes the cache with `capacity` without serving a
+    /// lookup: the relay mirror is diffed and every entry's pending
+    /// state reclassified *now* instead of at the next finder call.
+    ///
+    /// This is the departure hook the streaming/serving session loops
+    /// call. Releasing a departed group's channels flips its relays
+    /// back on; absorbing that delta immediately cancels the pending
+    /// repairs queued for exactly those relays (the `(Repair,
+    /// improving)` netting-out arm of the classifier) while the kill
+    /// and the restore are still adjacent deltas. Left to the lazy
+    /// path, the restore would only be reconciled at the next lookup,
+    /// where it can sit interleaved with unrelated flips and an
+    /// unclassifiable improvement escalates the whole entry to a full
+    /// recompute.
+    pub fn absorb(&mut self, capacity: &CapacityMap) {
+        self.observe(capacity);
+    }
+
     /// [`max_rate_channel`] through the cache.
     pub fn channel(&mut self, capacity: &CapacityMap, a: NodeId, b: NodeId) -> Option<Channel> {
         self.finder(capacity, a).channel_to(b)

@@ -12,4 +12,7 @@ pub use fidelity::{werner_swap_fidelity, FidelityAwarePrim, FidelityModel};
 pub use multi_group::{route_groups, GroupOutcome, GroupStrategy};
 pub use online::{simulate_online, OnlineConfig, OnlineStats};
 pub use purified::{purification_plan, PurificationPlan, PurifiedPrim};
-pub use stream::{simulate_stream, StreamConfig, StreamOutcome, StreamStats};
+pub use stream::{
+    route_group_cached, simulate_stream, Request, RequestStream, SloClass, StreamConfig,
+    StreamOutcome, StreamStats,
+};

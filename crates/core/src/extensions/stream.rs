@@ -30,6 +30,17 @@
 //! recorder; the sampler's cadence is consulted on every block
 //! regardless of obs level, so [`StreamStats::sampled_out`] is
 //! deterministic for a given seed.
+//!
+//! The workload itself is **open-loop**: [`RequestStream`] is a seeded
+//! iterator of [`Request`]s — arrival slot, members, hold duration, and
+//! [`SloClass`] all drawn up front, independent of admission outcomes —
+//! so the identical offered load can be replayed through any consumer.
+//! [`simulate_stream`] consumes it slot by slot (immediate per-request
+//! admission); the batched admission service (`muerp-serve`) consumes
+//! the same iterator in rounds. Because the stream is a pure function
+//! of `(network, config, seed)`, the two consumers see bit-identical
+//! request scripts — the property the serve differential battery rests
+//! on.
 
 use std::collections::HashSet;
 
@@ -120,7 +131,10 @@ impl Default for StreamConfig {
 }
 
 impl StreamConfig {
-    fn validate(&self) {
+    /// Panics on out-of-range parameters; every stream consumer
+    /// ([`simulate_stream`], [`RequestStream`], the serve engine) calls
+    /// this before drawing anything.
+    pub fn validate(&self) {
         assert!(self.slots >= 1, "a stream needs at least one slot");
         assert!(
             self.window_slots >= 1,
@@ -164,6 +178,156 @@ impl StreamConfig {
     }
 }
 
+/// Service class of a request — the admission-priority tier the
+/// weighted-fairness policy schedules by. Drawn per request from the
+/// workload RNG (Gold 1/8, Silver 2/8, Bronze 5/8), so class mix is
+/// part of the seeded script, not of the consumer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Highest tier (rarest, largest fairness weight).
+    Gold,
+    /// Middle tier.
+    Silver,
+    /// Default tier (most requests).
+    Bronze,
+}
+
+impl SloClass {
+    /// All classes, Gold first — index order matches [`SloClass::index`].
+    pub const ALL: [SloClass; 3] = [SloClass::Gold, SloClass::Silver, SloClass::Bronze];
+
+    /// Stable display name (fixtures and CSV keys use this).
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Gold => "gold",
+            SloClass::Silver => "silver",
+            SloClass::Bronze => "bronze",
+        }
+    }
+
+    /// Parses [`SloClass::name`] back.
+    pub fn parse(name: &str) -> Option<SloClass> {
+        SloClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Dense index into per-class arrays (Gold 0, Silver 1, Bronze 2).
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Gold => 0,
+            SloClass::Silver => 1,
+            SloClass::Bronze => 2,
+        }
+    }
+
+    fn draw(rng: &mut StdRng) -> SloClass {
+        match rng.random_range(0..8u32) {
+            0 => SloClass::Gold,
+            1 | 2 => SloClass::Silver,
+            _ => SloClass::Bronze,
+        }
+    }
+}
+
+/// One admission request of the seeded open-loop workload: everything
+/// about it — when it arrives, who wants entanglement, how long the
+/// session would hold, and its service class — is fixed at draw time,
+/// before any admission decision is made.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Sequential id in arrival order (0-based).
+    pub id: u64,
+    /// Arrival slot.
+    pub slot: u64,
+    /// The distinct users requesting a shared entanglement group.
+    pub members: Vec<NodeId>,
+    /// Session duration in slots, counted from the admission decision.
+    pub hold: u64,
+    /// Service class for policy scheduling.
+    pub class: SloClass,
+}
+
+/// The seeded open-loop request iterator: at most one arrival per slot
+/// (Bernoulli on [`StreamConfig::arrival_at`]), heavy-tailed group
+/// sizes, hot-spot-weighted members drawn from *all* users, hold and
+/// [`SloClass`] drawn at arrival. Ends after
+/// [`StreamConfig::slots`] slots.
+///
+/// A pure function of `(users, config, seed)`: iterating twice yields
+/// identical scripts, which is what lets `simulate_stream` and the
+/// batched serve engine consume the very same offered load.
+pub struct RequestStream {
+    cfg: StreamConfig,
+    users: Vec<(usize, NodeId)>,
+    hot_count: usize,
+    rng: StdRng,
+    slot: u64,
+    next_id: u64,
+}
+
+impl RequestStream {
+    /// Builds the request stream for `net`'s user population.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range configuration or when the network has
+    /// fewer users than the minimum group size.
+    pub fn new(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> Self {
+        cfg.validate();
+        assert!(
+            net.user_count() >= cfg.group_size.0,
+            "network has {} users, groups need at least {}",
+            net.user_count(),
+            cfg.group_size.0
+        );
+        let users: Vec<(usize, NodeId)> = net.users().iter().copied().enumerate().collect();
+        let hot_count = (cfg.hotspot_fraction * users.len() as f64).ceil() as usize;
+        RequestStream {
+            cfg,
+            users,
+            hot_count,
+            rng: StdRng::seed_from_u64(seed),
+            slot: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        while self.slot < self.cfg.slots {
+            let now = self.slot;
+            self.slot += 1;
+            if !self.rng.random_bool(self.cfg.arrival_at(now)) {
+                continue;
+            }
+            let size = sample_group_size(&mut self.rng, self.cfg.group_size, self.cfg.group_alpha);
+            let members = sample_members(
+                &mut self.rng,
+                &self.users,
+                size,
+                self.hot_count,
+                self.cfg.hotspot_weight,
+            );
+            let hold = self
+                .rng
+                .random_range(self.cfg.hold_slots.0..=self.cfg.hold_slots.1);
+            let class = SloClass::draw(&mut self.rng);
+            let id = self.next_id;
+            self.next_id += 1;
+            return Some(Request {
+                id,
+                slot: now,
+                members,
+                hold,
+                class,
+            });
+        }
+        None
+    }
+}
+
 /// Aggregate statistics of one streaming run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StreamStats {
@@ -171,7 +335,8 @@ pub struct StreamStats {
     pub arrived: u64,
     /// Requests admitted (routed successfully).
     pub admitted: u64,
-    /// Requests blocked because too few users were free of sessions.
+    /// Requests blocked because a requested member was already in an
+    /// active session.
     pub blocked_no_users: u64,
     /// Requests blocked because no capacity-respecting tree existed.
     pub blocked_capacity: u64,
@@ -224,7 +389,8 @@ struct Session {
     members: Vec<NodeId>,
 }
 
-/// Runs the streaming workload for [`StreamConfig::slots`] slots.
+/// Runs the streaming workload for [`StreamConfig::slots`] slots,
+/// consuming the open-loop [`RequestStream`] one request at a time.
 ///
 /// Deterministic for a given `seed`: the virtual clock, the RNG, and
 /// the search-count latency proxy are all independent of wall-clock
@@ -235,17 +401,12 @@ struct Session {
 /// Panics on out-of-range configuration or when the network has fewer
 /// users than the minimum group size.
 pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> StreamOutcome {
-    cfg.validate();
-    assert!(
-        net.user_count() >= cfg.group_size.0,
-        "network has {} users, groups need at least {}",
-        net.user_count(),
-        cfg.group_size.0
-    );
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Churn draws from its own stream so the base workload (arrivals,
-    // sizes, members, holds) is bit-identical with churn on or off.
+    // The offered load: a pure function of (net, cfg, seed), drawn
+    // entirely from its own RNG so admission outcomes can never feed
+    // back into arrivals, sizes, members, holds, or classes.
+    let mut requests = RequestStream::new(net, cfg, seed).peekable();
+    // Churn draws from its own stream so the base workload is
+    // bit-identical with churn on or off.
     let mut churn_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut capacity = CapacityMap::new(net);
     let mut cache = ChannelFinderCache::new(net);
@@ -269,8 +430,6 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
         series.rate_add(key, 0);
     }
 
-    let users = net.users().to_vec();
-    let hot_count = (cfg.hotspot_fraction * users.len() as f64).ceil() as usize;
     let switches: Vec<NodeId> = net.switches().collect();
     // Outstanding churn withdrawals: (restore_at, switch, qubits).
     let mut maintenance: Vec<(u64, NodeId, u32)> = Vec::new();
@@ -283,18 +442,9 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
     for now in 0..cfg.slots {
         series.advance_to(now);
 
-        // Departures first: free the qubits of expired sessions.
-        let mut kept = Vec::with_capacity(active.len());
-        for session in active.drain(..) {
-            if session.expires_at <= now {
-                for c in &session.tree.channels {
-                    capacity.release(c);
-                }
-            } else {
-                kept.push(session);
-            }
-        }
-        active = kept;
+        // Departures first: free the qubits of expired sessions and let
+        // the finder cache absorb the restores eagerly.
+        apply_departures(&mut active, &mut capacity, &mut cache, now);
 
         // Capacity churn: restore expired withdrawals, then maybe take
         // a new switch down. Runs before the arrival so admission sees
@@ -324,30 +474,27 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
             }
         }
 
-        if rng.random_bool(cfg.arrival_at(now)) {
+        while requests.peek().is_some_and(|r| r.slot == now) {
+            let req = requests.next().expect("peeked");
             stats.arrived += 1;
             series.rate_add("arrivals", 1);
             qnet_obs::counter!("core.stream.arrivals");
+            let size = req.members.len();
             let busy: HashSet<NodeId> = active
                 .iter()
                 .flat_map(|s| s.members.iter().copied())
                 .collect();
-            let free: Vec<(usize, NodeId)> = users
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|(_, u)| !busy.contains(u))
-                .collect();
-            let size = sample_group_size(&mut rng, cfg.group_size, cfg.group_alpha);
-            if free.len() < size {
+            if req.members.iter().any(|m| busy.contains(m)) {
+                // Open-loop arrivals name their members up front, so a
+                // request whose member is still in a session blocks —
+                // the closed-loop "too few free users" reason is gone.
                 stats.blocked_no_users += 1;
                 series.rate_add("blocked_no_users", 1);
                 qnet_obs::counter!("core.stream.blocked", reason = "no_users");
-                emit_block(&mut sampler, "no-users", size, now);
+                emit_block(&mut sampler, "member-busy", size, now);
             } else {
-                let members = sample_members(&mut rng, &free, size, hot_count, cfg.hotspot_weight);
                 let before = cache.search_count();
-                let routed = route_group_cached(net, &mut cache, &mut capacity, &members);
+                let routed = route_group_cached(net, &mut cache, &mut capacity, &req.members);
                 let searches = cache.search_count() - before;
                 series.latency("admission_searches", searches);
                 qnet_obs::histogram!("core.stream.admission_searches", searches);
@@ -357,11 +504,10 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
                         series.rate_add("admitted", 1);
                         qnet_obs::counter!("core.stream.admitted");
                         session_rate_sum += tree.rate().value();
-                        let hold = rng.random_range(cfg.hold_slots.0..=cfg.hold_slots.1);
                         active.push(Session {
                             tree,
-                            expires_at: now + hold,
-                            members,
+                            expires_at: now + req.hold,
+                            members: req.members,
                         });
                     }
                     None => {
@@ -396,6 +542,44 @@ pub fn simulate_stream(net: &QuantumNetwork, cfg: StreamConfig, seed: u64) -> St
     }
 }
 
+/// Releases every expired session's channels and — when anything was
+/// released — immediately absorbs the restored capacity into the finder
+/// cache. Returns the number of departed sessions.
+///
+/// The eager [`ChannelFinderCache::absorb`] is the departure half of
+/// the delta engine's restore-cancellation path: a departing group's
+/// releases flip its relays back on, and absorbing that delta while it
+/// is still adjacent to the kill cancels the pending repairs queued for
+/// exactly those relays. Without it, the restore would ride along to
+/// the next lookup, interleaved with whatever else changed by then, and
+/// an unclassifiable improving flip escalates the entry to a full
+/// recompute instead of an O(1) revalidation.
+fn apply_departures(
+    active: &mut Vec<Session>,
+    capacity: &mut CapacityMap,
+    cache: &mut ChannelFinderCache<'_>,
+    now: u64,
+) -> u64 {
+    let before = active.len();
+    let mut released = false;
+    let mut kept = Vec::with_capacity(active.len());
+    for session in active.drain(..) {
+        if session.expires_at <= now {
+            for c in &session.tree.channels {
+                capacity.release(c);
+            }
+            released = true;
+        } else {
+            kept.push(session);
+        }
+    }
+    *active = kept;
+    if released {
+        cache.absorb(capacity);
+    }
+    (before - active.len()) as u64
+}
+
 /// Consults the sampler on every block (so the cadence and the
 /// `sampled_out` tally are level-independent) and records the admitted
 /// ones when tracing is on.
@@ -427,17 +611,17 @@ fn sample_group_size(rng: &mut StdRng, (lo, hi): (usize, usize), alpha: f64) -> 
     hi
 }
 
-/// Weighted sampling of `size` members without replacement: users whose
-/// network-order position is below `hot_count` carry `hot_weight`, the
-/// rest weight 1.
+/// Weighted sampling of `size` members without replacement from the
+/// candidate users: those whose network-order position is below
+/// `hot_count` carry `hot_weight`, the rest weight 1.
 fn sample_members(
     rng: &mut StdRng,
-    free: &[(usize, NodeId)],
+    candidates: &[(usize, NodeId)],
     size: usize,
     hot_count: usize,
     hot_weight: f64,
 ) -> Vec<NodeId> {
-    let mut pool: Vec<(f64, NodeId)> = free
+    let mut pool: Vec<(f64, NodeId)> = candidates
         .iter()
         .map(|&(pos, u)| (if pos < hot_count { hot_weight } else { 1.0 }, u))
         .collect();
@@ -466,7 +650,11 @@ fn free_qubit_total(net: &QuantumNetwork, capacity: &CapacityMap) -> f64 {
 /// Prim-style group routing over shared residual capacity, served
 /// through the finder cache (epoch-keyed, so trial capacities never
 /// alias); reserves the qubits on success, touches nothing on failure.
-fn route_group_cached<'n>(
+///
+/// Public because the batched admission service (`muerp-serve`) routes
+/// through the identical growth loop — any divergence between the two
+/// consumers would void the serve differential battery.
+pub fn route_group_cached<'n>(
     net: &'n QuantumNetwork,
     cache: &mut ChannelFinderCache<'n>,
     capacity: &mut CapacityMap,
@@ -676,6 +864,94 @@ mod tests {
         assert_eq!(calm.stats.arrived, churned.stats.arrived);
         assert_eq!(calm.stats.churn_events, 0);
         assert!(churned.stats.churn_events > 0);
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_open_loop() {
+        let net = net();
+        let a: Vec<Request> = RequestStream::new(&net, short_cfg(), 33).collect();
+        let b: Vec<Request> = RequestStream::new(&net, short_cfg(), 33).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let (lo, hi) = short_cfg().group_size;
+        let (hlo, hhi) = short_cfg().hold_slots;
+        let mut classes = HashSet::new();
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "ids are sequential in arrival order");
+            assert!(r.slot < short_cfg().slots);
+            assert!((lo..=hi).contains(&r.members.len()));
+            let distinct: HashSet<_> = r.members.iter().collect();
+            assert_eq!(distinct.len(), r.members.len(), "members are distinct");
+            assert!((hlo..=hhi).contains(&r.hold));
+            classes.insert(r.class);
+        }
+        // Slots strictly increase (at most one arrival per slot).
+        for w in a.windows(2) {
+            assert!(w[0].slot < w[1].slot);
+        }
+        assert!(classes.len() >= 2, "a 512-slot run draws several classes");
+    }
+
+    #[test]
+    fn stream_consumes_the_request_iterator_verbatim() {
+        let out = simulate_stream(&net(), short_cfg(), 14);
+        let script: Vec<Request> = RequestStream::new(&net(), short_cfg(), 14).collect();
+        // Every scripted request arrives — admission outcomes cannot
+        // feed back into the offered load.
+        assert_eq!(out.stats.arrived, script.len() as u64);
+    }
+
+    #[test]
+    fn departure_restores_cancel_pending_repairs() {
+        use crate::model::{NodeKind, PhysicsParams};
+        use qnet_graph::Graph;
+        // a —1000— s (2 qubits) —1000— b, plus a direct 2500 fiber.
+        // q = 0.99: the relayed route wins while s can relay.
+        let mut g: Graph<NodeKind, f64> = Graph::new();
+        let a = g.add_node(NodeKind::User);
+        let s = g.add_node(NodeKind::Switch { qubits: 2 });
+        let b = g.add_node(NodeKind::User);
+        g.add_edge(a, s, 1000.0);
+        g.add_edge(s, b, 1000.0);
+        g.add_edge(a, b, 2500.0);
+        let physics = PhysicsParams {
+            swap_success: 0.99,
+            attenuation: 1e-4,
+        };
+        let net = QuantumNetwork::from_graph(g, physics);
+        let mut capacity = CapacityMap::new(&net);
+        let mut cache = ChannelFinderCache::new(&net);
+
+        // Admission reserves both of s's qubits: s's relay bit flips off.
+        let tree = route_group_cached(&net, &mut cache, &mut capacity, &[a, b])
+            .expect("relayed route feasible");
+        assert_eq!(tree.channels[0].link_count(), 2, "route goes via s");
+        // Absorb the kill: the cached entry for `a` now carries a
+        // pending repair for s.
+        cache.absorb(&capacity);
+        let searches = cache.search_count();
+        let hits = cache.efficiency().hits;
+
+        // The session departs through the real departure path: the
+        // release flips s back on and the eager absorb nets the restore
+        // out against the queued repair.
+        let mut active = vec![Session {
+            tree,
+            expires_at: 3,
+            members: vec![a, b],
+        }];
+        let departed = apply_departures(&mut active, &mut capacity, &mut cache, 5);
+        assert_eq!(departed, 1);
+        assert!(active.is_empty());
+
+        // The next lookup must be an O(1) revalidation: no repair ran,
+        // no search ran, and the restored relay is visible again.
+        let c = cache.finder(&capacity, a).channel_to(b).expect("route");
+        assert_eq!(c.link_count(), 2, "restored relay visible again");
+        let eff = cache.efficiency();
+        assert_eq!(eff.repairs, 0, "pending repair was cancelled, not run");
+        assert_eq!(cache.search_count(), searches, "no full search either");
+        assert_eq!(eff.hits, hits + 1, "served as a clean revalidation");
     }
 
     #[test]

@@ -5,13 +5,15 @@
 //!       [--trials N] [--seed S] [--out DIR]
 //! repro obs-diff <baseline.json> <candidate.json> \
 //!       [--span-ratio R] [--counter-ratio R] [--min-span-us N] [--warn-only]
-//! repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--out FILE]
+//! repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--serve] [--out FILE]
 //! repro churn [--trials N] [--failures F] [--seed S] [--slots N] \
 //!       [--out DIR] [--obs-report]
 //! repro profile <paper-default|waxman-240> [--seed S] [--out DIR] \
 //!       [--top N] [--bench-out FILE]
 //! repro stream [--slots N] [--window W] [--seed S] [--arrival P] \
 //!       [--sample-every N] [--churn-every N] [--out DIR]
+//! repro serve [--slots N] [--round R] [--queue Q] [--policy P] \
+//!       [--seed S] [--arrival P] [--out DIR]
 //! ```
 //!
 //! Prints each figure as an aligned text table and, with `--out`, writes
@@ -32,7 +34,11 @@
 //! checks the repair ladder's invariants. `--delta` additionally pushes
 //! a seeded capacity-delta sequence through the dirty-set channel-finder
 //! cache, cross-checking every step bitwise against a cold
-//! recomputation and shrinking failing delta scripts.
+//! recomputation and shrinking failing delta scripts. `--serve`
+//! additionally replays a seeded request script through the batched
+//! admission engine and the sequential FCFS oracle, comparing every
+//! decision and re-auditing admitted solutions, shrinking failing
+//! scripts to a minimal admission script.
 //!
 //! `churn` runs the survivability battery: seeded failure plans
 //! replayed against solved networks, comparing do-nothing vs. the
@@ -48,6 +54,16 @@
 //! the `stream.metrics.jsonl` window stream, a schema-4 `stream.json`
 //! run report, and a Prometheus-style `stream.prom`. Everything except
 //! the stderr throughput line is byte-deterministic for a fixed seed.
+//!
+//! `serve` runs the batched streaming admission service: the seeded
+//! request stream consumed in fixed-width admission rounds through a
+//! bounded queue, a pluggable admission policy
+//! (`fcfs|smallest|weighted`), one warm-batch cache pass per round,
+//! and delta-engine departure restores. Artifacts mirror `stream`:
+//! `serve-rounds.csv`, `serve-summary.csv`, `serve.metrics.jsonl`, a
+//! schema-4 `serve.json` report, and `serve.prom` — all
+//! byte-deterministic for a fixed seed, with the decision-level
+//! artifacts additionally thread-count invariant.
 //!
 //! `profile` runs one scenario single-threaded at `MUERP_OBS=trace`
 //! and writes the perf-attribution artifacts: deterministic facts to
@@ -66,9 +82,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use muerp_experiments::cli::{
-    self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs, ProfileArgs, StreamArgs,
+    self, ChurnArgs, Command, FuzzArgs, ObsDiffArgs, ProfileArgs, ServeArgs, StreamArgs,
 };
-use muerp_experiments::{ablations, beyond, churn, convergence, figures, profile, stream};
+use muerp_experiments::{ablations, beyond, churn, convergence, figures, profile, serve, stream};
 use muerp_experiments::{FigureTable, TrialConfig};
 
 fn run_one(id: &str, cfg: TrialConfig) -> Vec<FigureTable> {
@@ -302,6 +318,25 @@ fn run_stream_cmd(args: &StreamArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_serve_cmd(args: &ServeArgs) -> ExitCode {
+    let (run, written) = match serve::run_serve(args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Deterministic facts on stdout (CI byte-compares the artifacts) …
+    print!("{}", run.render_text());
+    warn_on_trace_drops(&run.report, "serve");
+    for path in &written {
+        println!("wrote {}", path.display());
+    }
+    // … wall-clock throughput on stderr (jitters run to run).
+    eprint!("{}", run.render_throughput());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match cli::parse_command(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
@@ -310,6 +345,7 @@ fn main() -> ExitCode {
         Ok(Command::Churn(c)) => return run_churn(&c),
         Ok(Command::Profile(p)) => return run_profile_cmd(&p),
         Ok(Command::Stream(st)) => return run_stream_cmd(&st),
+        Ok(Command::Serve(sv)) => return run_serve_cmd(&sv),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;

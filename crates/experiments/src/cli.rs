@@ -57,6 +57,53 @@ pub enum Command {
     /// run report, and a Prometheus-style exposition of the final
     /// counters.
     Stream(StreamArgs),
+    /// `repro serve`: the batched admission service — per-round
+    /// decision tables, policy-ordered admission with backpressure
+    /// shedding, round-level telemetry, and byte-deterministic
+    /// artifacts.
+    Serve(ServeArgs),
+}
+
+/// Arguments of the `serve` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Virtual-time slots to serve.
+    pub slots: u64,
+    /// Slots per admission round.
+    pub round: u64,
+    /// Bounded-queue capacity per round.
+    pub queue: usize,
+    /// Admission policy name (`fcfs`, `smallest`, `weighted`).
+    pub policy: String,
+    /// Seed for the network build and the request stream.
+    pub seed: u64,
+    /// Baseline per-slot arrival probability (diurnally modulated).
+    pub arrival: f64,
+    /// Output directory for the CSVs, metrics stream, report, and
+    /// Prometheus exposition.
+    pub out: PathBuf,
+}
+
+impl ServeArgs {
+    /// The serve configuration these arguments select.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the policy when it is unknown.
+    pub fn config(&self) -> Result<muerp_serve::ServeConfig, String> {
+        let policy = muerp_serve::PolicyKind::parse(&self.policy)
+            .ok_or_else(|| format!("unknown policy: {} (fcfs|smallest|weighted)", self.policy))?;
+        Ok(muerp_serve::ServeConfig {
+            stream: muerp_core::extensions::StreamConfig {
+                slots: self.slots,
+                base_arrival: self.arrival,
+                ..muerp_core::extensions::StreamConfig::default()
+            },
+            round_slots: self.round,
+            queue_capacity: self.queue,
+            policy,
+        })
+    }
 }
 
 /// Arguments of the `stream` subcommand.
@@ -125,6 +172,9 @@ pub struct FuzzArgs {
     /// Also run the delta oracle (capacity deltas through the dirty-set
     /// channel-finder cache vs. cold recomputation) per trial.
     pub delta: bool,
+    /// Also run the serve oracle (batched admission vs. the sequential
+    /// FCFS reference on a seeded request script) per trial.
+    pub serve: bool,
     /// Where to write the JSON counterexample report on failure.
     pub out: PathBuf,
 }
@@ -137,6 +187,7 @@ impl FuzzArgs {
             base_seed: self.base_seed,
             churn: self.churn,
             delta: self.delta,
+            serve: self.serve,
         }
     }
 }
@@ -218,7 +269,87 @@ where
         argv.next();
         return parse_stream(argv).map(Command::Stream);
     }
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return parse_serve(argv).map(Command::Serve);
+    }
     parse(argv).map(Command::Run)
+}
+
+fn parse_serve<I>(argv: I) -> Result<ServeArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut slots = 2048u64;
+    let mut round = 32u64;
+    let mut queue = 16usize;
+    let mut policy = "fcfs".to_string();
+    let mut seed = 7u64;
+    let mut arrival = 0.35f64;
+    let mut out = PathBuf::from("results/serve");
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--slots" => {
+                let v = argv.next().ok_or("--slots needs a value")?;
+                slots = v.parse().map_err(|e| format!("bad --slots: {e}"))?;
+                if slots == 0 {
+                    return Err("--slots must be positive".into());
+                }
+            }
+            "--round" => {
+                let v = argv.next().ok_or("--round needs a value")?;
+                round = v.parse().map_err(|e| format!("bad --round: {e}"))?;
+                if round == 0 {
+                    return Err("--round must be positive".into());
+                }
+            }
+            "--queue" => {
+                let v = argv.next().ok_or("--queue needs a value")?;
+                queue = v.parse().map_err(|e| format!("bad --queue: {e}"))?;
+                if queue == 0 {
+                    return Err("--queue must be positive".into());
+                }
+            }
+            "--policy" => {
+                policy = argv.next().ok_or("--policy needs a value")?;
+                if muerp_serve::PolicyKind::parse(&policy).is_none() {
+                    return Err(format!("unknown policy: {policy} (fcfs|smallest|weighted)"));
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--arrival" => {
+                let v = argv.next().ok_or("--arrival needs a value")?;
+                arrival = v.parse().map_err(|e| format!("bad --arrival: {e}"))?;
+                if !(0.0..=1.0).contains(&arrival) {
+                    return Err("--arrival must be in [0, 1]".into());
+                }
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = PathBuf::from(v);
+            }
+            other => {
+                return Err(format!(
+                    "unknown serve argument: {other}\nusage: repro serve [--slots N] \
+                 [--round R] [--queue Q] [--policy fcfs|smallest|weighted] [--seed S] \
+                 [--arrival P] [--out DIR]"
+                ))
+            }
+        }
+    }
+    Ok(ServeArgs {
+        slots,
+        round,
+        queue,
+        policy,
+        seed,
+        arrival,
+        out,
+    })
 }
 
 fn parse_stream<I>(argv: I) -> Result<StreamArgs, String>
@@ -409,12 +540,14 @@ where
     let mut base_seed = 0u64;
     let mut churn = false;
     let mut delta = false;
+    let mut serve = false;
     let mut out = PathBuf::from("fuzz-counterexample.json");
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--churn" => churn = true,
             "--delta" => delta = true,
+            "--serve" => serve = true,
             "--budget" => {
                 let v = argv.next().ok_or("--budget needs a value")?;
                 let n: usize = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
@@ -435,13 +568,15 @@ where
         }
     }
     let budget = budget.ok_or(
-        "usage: repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--out FILE]".to_string(),
+        "usage: repro fuzz --budget <n> [--seed S] [--churn] [--delta] [--serve] [--out FILE]"
+            .to_string(),
     )?;
     Ok(FuzzArgs {
         budget,
         base_seed,
         churn,
         delta,
+        serve,
         out,
     })
 }
@@ -721,6 +856,14 @@ mod tests {
         assert!(!f.churn);
         assert!(f.config().delta);
 
+        let c = parse_command(s(&["fuzz", "--budget", "9", "--serve"])).unwrap();
+        let Command::Fuzz(f) = c else {
+            panic!("expected Fuzz, got {c:?}");
+        };
+        assert!(f.serve);
+        assert!(!f.delta);
+        assert!(f.config().serve);
+
         let c = parse_command(s(&[
             "fuzz",
             "--seed",
@@ -957,6 +1100,81 @@ mod tests {
         assert!(parse_command(s(&["stream", "--bogus"]))
             .unwrap_err()
             .contains("unknown stream argument"));
+    }
+
+    #[test]
+    fn serve_parses_flags_and_defaults() {
+        let c = parse_command(s(&["serve"])).unwrap();
+        let Command::Serve(a) = c else {
+            panic!("expected Serve, got {c:?}");
+        };
+        assert_eq!(a.slots, 2048);
+        assert_eq!(a.round, 32);
+        assert_eq!(a.queue, 16);
+        assert_eq!(a.policy, "fcfs");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.arrival, 0.35);
+        assert_eq!(a.out, PathBuf::from("results/serve"));
+        let cfg = a.config().unwrap();
+        assert_eq!(cfg.stream.slots, 2048);
+        assert_eq!(cfg.round_slots, 32);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.policy, muerp_serve::PolicyKind::Fcfs);
+
+        let c = parse_command(s(&[
+            "serve",
+            "--slots",
+            "512",
+            "--round",
+            "16",
+            "--queue",
+            "8",
+            "--policy",
+            "weighted",
+            "--seed",
+            "3",
+            "--arrival",
+            "0.5",
+            "--out",
+            "/tmp/serve",
+        ]))
+        .unwrap();
+        let Command::Serve(a) = c else {
+            panic!("expected Serve, got {c:?}");
+        };
+        assert_eq!(a.slots, 512);
+        assert_eq!(a.round, 16);
+        assert_eq!(a.queue, 8);
+        assert_eq!(a.policy, "weighted");
+        assert_eq!(a.seed, 3);
+        assert_eq!(a.arrival, 0.5);
+        assert_eq!(a.out, PathBuf::from("/tmp/serve"));
+        assert_eq!(
+            a.config().unwrap().policy,
+            muerp_serve::PolicyKind::WeightedFair
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_invocations() {
+        assert!(parse_command(s(&["serve", "--slots", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["serve", "--round", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["serve", "--queue", "0"]))
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_command(s(&["serve", "--policy", "lifo"]))
+            .unwrap_err()
+            .contains("unknown policy"));
+        assert!(parse_command(s(&["serve", "--arrival", "1.5"]))
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(parse_command(s(&["serve", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown serve argument"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod convergence;
 pub mod figures;
 pub mod profile;
 pub mod runner;
+pub mod serve;
 pub mod stream;
 pub mod suite;
 pub mod table;

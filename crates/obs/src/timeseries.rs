@@ -461,6 +461,13 @@ impl TimeSeriesSection {
         })
     }
 
+    /// The sum of rate series `name` over every retained window —
+    /// equals the run-level total when nothing was evicted. Missing
+    /// windows contribute zero, so an unregistered name sums to 0.
+    pub fn merged_rate(&self, name: &str) -> u64 {
+        self.windows.iter().filter_map(|w| w.rates.get(name)).sum()
+    }
+
     /// The bucket-wise union of every retained window's latency series
     /// `name` — equals the run-level histogram when nothing was
     /// evicted.
@@ -675,6 +682,19 @@ mod tests {
         let parsed: Value = serde_json::from_str(&text).unwrap();
         let back = TimeSeriesSection::from_json(&parsed).expect("section shape matches");
         assert_eq!(back, section);
+    }
+
+    #[test]
+    fn merged_rate_sums_every_window() {
+        let mut ts = series(4, 16);
+        let counts = [2u64, 0, 5, 1, 3];
+        for (i, &n) in counts.iter().enumerate() {
+            ts.advance_to(i as u64 * 4);
+            ts.rate_add("admitted", n);
+        }
+        let section = ts.finish();
+        assert_eq!(section.merged_rate("admitted"), counts.iter().sum::<u64>());
+        assert_eq!(section.merged_rate("never-registered"), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! * [`topology`] — random network generators ([`qnet_topology`])
 //! * [`sim`] — Monte-Carlo physical-layer simulator ([`qnet_sim`])
 //! * [`core`] — the paper's algorithms and model ([`muerp_core`])
+//! * [`serve`] — batched streaming admission service ([`muerp_serve`])
 //! * [`experiments`] — figure-reproduction harness ([`muerp_experiments`])
 //! * [`obs`] — spans, counters, and run reports behind `MUERP_OBS`
 //!   ([`qnet_obs`])
@@ -30,6 +31,7 @@
 
 pub use muerp_core as core;
 pub use muerp_experiments as experiments;
+pub use muerp_serve as serve;
 pub use qnet_conformance as conformance;
 pub use qnet_graph as graph;
 pub use qnet_obs as obs;
